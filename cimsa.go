@@ -1,0 +1,124 @@
+// Package cimsa is a software reproduction of "Digital CIM with Noisy
+// SRAM Bit: A Compact Clustered Annealer for Large-Scale Combinatorial
+// Optimization" (DAC 2024): an Ising-model TSP annealer that solves
+// tens-of-thousands-of-city problems with MB-level weight memory by
+// combining hierarchical clustering (input sparsity), compact digital
+// compute-in-memory weight windows (weight sparsity), chromatic parallel
+// cluster updates, and annealing driven by the intrinsic process
+// variation of SRAM bit cells under reduced supply voltage.
+//
+// This package is the stable facade over the internal packages:
+//
+//	result, err := cimsa.Solve(instance, cimsa.Options{PMax: 3})
+//
+// For finer control (custom noise schedules, ablation modes, PPA
+// technology constants) construct a core annealer via Options.Advanced
+// fields; the internal packages are reachable for code inside this
+// module (examples, cmd tools, benchmarks).
+package cimsa
+
+import (
+	"io"
+
+	"cimsa/internal/clustered"
+	"cimsa/internal/core"
+	"cimsa/internal/ppa"
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// Instance is a TSP problem instance (re-exported from the tsplib
+// package for facade users).
+type Instance = tsplib.Instance
+
+// Tour is a cyclic visiting order of city indices.
+type Tour = tour.Tour
+
+// Report is the full solve outcome: solution, quality vs the classical
+// reference solver, annealing statistics and the hardware PPA estimate.
+type Report = core.Report
+
+// ChipReport is the hardware performance/power/area estimate.
+type ChipReport = ppa.ChipReport
+
+// Options selects the annealer design point.
+type Options struct {
+	// PMax is the maximum cluster size (the paper evaluates 2..4;
+	// 3 is the recommended trade-off and the default).
+	PMax int
+	// Seed makes runs reproducible; same seed, same tour.
+	Seed uint64
+	// Reference additionally runs the classical reference solver and
+	// fills Report.OptimalRatio.
+	Reference bool
+	// SkipHardware disables the chip PPA estimate.
+	SkipHardware bool
+	// Parallel updates non-adjacent clusters across goroutines, like the
+	// hardware updates all same-phase windows at once. Results are
+	// bit-identical to the sequential mode.
+	Parallel bool
+	// Mode selects the randomness source by name: "noisy-cim" (default),
+	// "metropolis", "greedy" or "noisy-spins" (the ablations of
+	// DESIGN.md).
+	Mode string
+	// Restarts runs that many independent replicas (distinct seeds and
+	// noise fabrics) and keeps the best tour; 0 or 1 means a single run.
+	Restarts int
+}
+
+// Solve runs the clustered noisy-CIM annealer on the instance.
+func Solve(in *Instance, opt Options) (*Report, error) {
+	mode := clustered.ModeNoisyCIM
+	if opt.Mode != "" {
+		m, err := clustered.ParseMode(opt.Mode)
+		if err != nil {
+			return nil, err
+		}
+		mode = m
+	}
+	a, err := core.New(core.Config{
+		PMax:               opt.PMax,
+		Seed:               opt.Seed,
+		Mode:               mode,
+		SkipHardwareReport: opt.SkipHardware,
+		Parallel:           opt.Parallel,
+		Restarts:           opt.Restarts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Reference {
+		return a.SolveWithReference(in)
+	}
+	return a.Solve(in)
+}
+
+// SolveName solves a built-in registry instance (e.g. "pcb3038",
+// "rl5915", "pla85900"); the coordinates are synthesized
+// deterministically since the module ships no data files.
+func SolveName(name string, opt Options) (*Report, error) {
+	in, err := tsplib.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(in, opt)
+}
+
+// LoadInstance parses a TSPLIB95 .tsp stream (EUC_2D, CEIL_2D, GEO and
+// ATT metrics with NODE_COORD_SECTION).
+func LoadInstance(r io.Reader) (*Instance, error) {
+	return tsplib.Parse(r)
+}
+
+// GenerateInstance synthesizes an n-city instance whose spatial
+// statistics follow the TSPLIB family the name suggests ("pcb...",
+// "rl...", "pla...", "usa...", anything else uniform).
+func GenerateInstance(name string, n int, seed uint64) *Instance {
+	return tsplib.Generate(name, n, tsplib.StyleForName(name), seed)
+}
+
+// LoadNamed synthesizes a built-in registry instance by name.
+func LoadNamed(name string) (*Instance, error) { return tsplib.Load(name) }
+
+// InstanceNames lists the built-in registry instances in size order.
+func InstanceNames() []string { return tsplib.Names() }

@@ -1,0 +1,131 @@
+// Command cimanneal solves a TSP instance with the clustered noisy-CIM
+// annealer and prints the tour quality, annealing statistics and the
+// modelled hardware cost.
+//
+// Usage:
+//
+//	cimanneal -name pcb3038                 # built-in registry instance
+//	cimanneal -file problem.tsp             # TSPLIB95 file
+//	cimanneal -random 5000                  # synthetic uniform instance
+//	cimanneal -name rl5915 -pmax 4 -seed 7 -tour out.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cimsa"
+	"cimsa/internal/tsplib"
+	"cimsa/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cimanneal: ")
+	var (
+		name     = flag.String("name", "", "built-in instance name (see -list)")
+		file     = flag.String("file", "", "TSPLIB95 .tsp file to solve")
+		random   = flag.Int("random", 0, "generate a uniform random instance of this size")
+		pmax     = flag.Int("pmax", 3, "maximum cluster size (2-4)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		mode     = flag.String("mode", "noisy-cim", "randomness source: noisy-cim | metropolis | greedy | noisy-spins")
+		restarts = flag.Int("restarts", 1, "independent replicas; the best tour wins")
+		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across goroutines")
+		tourOut  = flag.String("tour", "", "write the visiting order to this file")
+		svgOut   = flag.String("svg", "", "render the tour to this SVG file")
+		noRef    = flag.Bool("noref", false, "skip the classical reference solver")
+		noHW     = flag.Bool("nohw", false, "skip the hardware PPA report")
+		listOnly = flag.Bool("list", false, "list built-in instances and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, n := range cimsa.InstanceNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	in, err := loadInstance(*name, *file, *random, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cimsa.Solve(in, cimsa.Options{
+		PMax:         *pmax,
+		Seed:         *seed,
+		Reference:    !*noRef,
+		SkipHardware: *noHW,
+		Mode:         *mode,
+		Restarts:     *restarts,
+		Parallel:     *parallel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance      %s (%d cities)\n", rep.Instance, rep.N)
+	fmt.Printf("tour length   %.0f\n", rep.Length)
+	if rep.ReferenceLength > 0 {
+		fmt.Printf("reference     %.0f (optimal ratio %.3f)\n", rep.ReferenceLength, rep.OptimalRatio)
+	}
+	st := rep.Solver
+	fmt.Printf("annealing     %d levels, %d iterations, %d/%d swaps accepted\n",
+		st.Levels, st.Iterations, st.Accepted, st.Proposed)
+	fmt.Printf("dataflow      %d write-backs, %.1f kb inter-array boundary traffic\n",
+		st.WriteBacks, float64(st.BoundaryTransferBits)/1000)
+	if rep.Chip.AreaMM2 > 0 {
+		c := rep.Chip
+		fmt.Printf("hardware      %d windows in %d arrays, %.1f Mb SRAM\n",
+			c.Windows, c.Arrays, float64(c.PhysicalWeightBits)/1e6)
+		fmt.Printf("              %.2f mm², %.0f mW, time-to-solution %.1f µs, energy %.2f µJ\n",
+			c.AreaMM2, c.PowerMW, c.LatencySeconds*1e6, c.EnergyJ*1e6)
+	}
+
+	if *tourOut != "" {
+		f, err := os.Create(*tourOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tsplib.WriteTour(f, rep.Instance, rep.Tour); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tour written  %s (TSPLIB .tour format)\n", *tourOut)
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("%s: %.0f", rep.Instance, rep.Length)
+		if err := viz.WriteSVG(f, in, rep.Tour, viz.Options{ShowCities: in.N() <= 5000, Title: title}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("svg written   %s\n", *svgOut)
+	}
+}
+
+func loadInstance(name, file string, random int, seed uint64) (*cimsa.Instance, error) {
+	switch {
+	case name != "" && file == "" && random == 0:
+		return cimsa.LoadNamed(name)
+	case file != "" && name == "" && random == 0:
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return cimsa.LoadInstance(f)
+	case random > 0 && name == "" && file == "":
+		return cimsa.GenerateInstance(fmt.Sprintf("random%d", random), random, seed), nil
+	default:
+		return nil, fmt.Errorf("specify exactly one of -name, -file, -random")
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadInstanceByName(t *testing.T) {
+	in, err := loadInstance("pcb442", "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 442 {
+		t.Fatalf("loaded %d cities", in.N())
+	}
+}
+
+func TestLoadInstanceRandom(t *testing.T) {
+	in, err := loadInstance("", "", 77, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 77 {
+		t.Fatalf("generated %d cities", in.N())
+	}
+	// Deterministic for the same seed.
+	again, err := loadInstance("", "", 77, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Cities {
+		if in.Cities[i] != again.Cities[i] {
+			t.Fatal("random instance not deterministic")
+		}
+	}
+}
+
+func TestLoadInstanceFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.tsp")
+	src := "NAME : toy\nTYPE : TSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : EUC_2D\nNODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\nEOF\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := loadInstance("", path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 3 || in.Name != "toy" {
+		t.Fatalf("parsed %s/%d", in.Name, in.N())
+	}
+}
+
+func TestLoadInstanceRejectsAmbiguousFlags(t *testing.T) {
+	cases := []struct {
+		name, file string
+		random     int
+	}{
+		{"", "", 0},
+		{"pcb442", "x.tsp", 0},
+		{"pcb442", "", 100},
+		{"", "x.tsp", 100},
+	}
+	for _, c := range cases {
+		if _, err := loadInstance(c.name, c.file, c.random, 1); err == nil {
+			t.Errorf("combination %+v accepted", c)
+		}
+	}
+}
+
+func TestLoadInstanceMissingFile(t *testing.T) {
+	if _, err := loadInstance("", "/nonexistent/foo.tsp", 0, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

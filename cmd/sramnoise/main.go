@@ -1,0 +1,92 @@
+// Command sramnoise reproduces Fig. 6(b): the Monte Carlo pseudo-read
+// error rate of the noisy SRAM bit cell versus supply voltage, with the
+// bit-line capacitance sharpness comparison and the fitted sigmoid the
+// annealer consumes.
+//
+// Usage:
+//
+//	sramnoise                    # paper settings (1000 samples)
+//	sramnoise -samples 200 -step 0.02 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cimsa/internal/device"
+	"cimsa/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sramnoise: ")
+	var (
+		samples = flag.Int("samples", 1000, "Monte Carlo population (paper: 1000)")
+		seed    = flag.Uint64("seed", 1, "fabrication seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
+		sigma   = flag.Float64("sigma", 0, "override per-device Vth mismatch sigma (V)")
+		cbl     = flag.Float64("cbl", 0, "override relative bit-line capacitance")
+		kacc    = flag.Float64("kaccess", 0, "override access transistor K (A/V²)")
+	)
+	flag.Parse()
+
+	// Custom cell parameters run the full device Monte Carlo + sigmoid
+	// fit rather than the committed defaults, so designers can explore
+	// mismatch corners and bit-line lengths.
+	p := device.Params16nm()
+	custom := false
+	if *sigma > 0 {
+		p.SigmaVth = *sigma
+		custom = true
+	}
+	if *cbl > 0 {
+		p.CBLRel = *cbl
+		custom = true
+	}
+	if *kacc > 0 {
+		p.KAccess = *kacc
+		custom = true
+	}
+	if custom {
+		vdds := device.SweepVDD(0.04)
+		rates := device.ErrorRateCurve(p, vdds, *samples, *seed)
+		hi := p
+		hi.CBLRel *= 4
+		ratesHi := device.ErrorRateCurve(hi, vdds, *samples, *seed)
+		if *csv {
+			fmt.Println("vdd_mv,error_rate,error_rate_4x_cbl")
+			for i := range vdds {
+				fmt.Printf("%.0f,%.5f,%.5f\n", vdds[i]*1000, rates[i], ratesHi[i])
+			}
+			return
+		}
+		fmt.Printf("custom cell: sigmaVth=%.3f V, C_BL=%.1fx, K_access=%.2g A/V²\n",
+			p.SigmaVth, p.CBLRel, p.KAccess)
+		for i := range vdds {
+			fmt.Printf("%8.0f %12.4f %16.4f\n", vdds[i]*1000, rates[i], ratesHi[i])
+		}
+		if fit, err := device.FitSigmoid(vdds, rates); err == nil {
+			fmt.Printf("sigmoid fit: max %.3f, V50 %.0f mV, slope %.0f mV\n",
+				fit.MaxRate, fit.V50*1000, fit.Slope*1000)
+		}
+		return
+	}
+
+	res, err := experiments.Fig6(experiments.Config{Seed: *seed, MCSamples: *samples})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Println("vdd_mv,error_rate,error_rate_4x_cbl")
+		for _, p := range res.Points {
+			fmt.Printf("%.0f,%.5f,%.5f\n", p.VDD*1000, p.Rate, p.RateHighCBL)
+		}
+		return
+	}
+	experiments.RenderFig6(os.Stdout, res)
+	def := device.DefaultErrorModel()
+	fmt.Printf("committed model: max %.3f, V50 %.0f mV, slope %.0f mV\n",
+		def.MaxRate, def.V50*1000, def.Slope*1000)
+}

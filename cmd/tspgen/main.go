@@ -1,0 +1,76 @@
+// Command tspgen writes a synthetic TSP instance in TSPLIB95 format.
+// The spatial style follows the name prefix (pcb/rl/pla/usa) or can be
+// forced with -style.
+//
+// Usage:
+//
+//	tspgen -name pcb3038 > pcb3038.tsp       # registry clone (same as the benches use)
+//	tspgen -n 5000 -style clustered -seed 2 > custom.tsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cimsa/internal/tsplib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tspgen: ")
+	var (
+		name  = flag.String("name", "", "registry instance to synthesize (overrides -n/-style)")
+		n     = flag.Int("n", 1000, "number of cities")
+		style = flag.String("style", "uniform", "uniform | pcb | clustered | geographic | pla")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var in *tsplib.Instance
+	if *name != "" {
+		loaded, err := tsplib.Load(*name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = loaded
+	} else {
+		st, err := parseStyle(*style)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = tsplib.Generate(fmt.Sprintf("%s%d", *style, *n), *n, st, *seed)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tsplib.Write(w, in); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseStyle(s string) (tsplib.Style, error) {
+	switch s {
+	case "uniform":
+		return tsplib.StyleUniform, nil
+	case "pcb":
+		return tsplib.StylePCB, nil
+	case "clustered":
+		return tsplib.StyleClustered, nil
+	case "geographic":
+		return tsplib.StyleGeographic, nil
+	case "pla":
+		return tsplib.StylePLA, nil
+	default:
+		return 0, fmt.Errorf("unknown style %q", s)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"cimsa/internal/tsplib"
+)
+
+func TestParseStyleAll(t *testing.T) {
+	cases := map[string]tsplib.Style{
+		"uniform":    tsplib.StyleUniform,
+		"pcb":        tsplib.StylePCB,
+		"clustered":  tsplib.StyleClustered,
+		"geographic": tsplib.StyleGeographic,
+		"pla":        tsplib.StylePLA,
+	}
+	for name, want := range cases {
+		got, err := parseStyle(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("parseStyle(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParseStyleRejectsUnknown(t *testing.T) {
+	if _, err := parseStyle("hexagonal"); err == nil {
+		t.Fatal("unknown style accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package cimsa_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cimsa"
+)
+
+// ExampleSolve shows the minimal end-to-end use of the annealer: build a
+// workload, solve it, and inspect quality plus the modelled hardware.
+func ExampleSolve() {
+	in := cimsa.GenerateInstance("demo", 500, 42)
+	rep, err := cimsa.Solve(in, cimsa.Options{PMax: 3, Seed: 1, Reference: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tour within %.0f%% of the reference solver\n", 100*(rep.OptimalRatio-1))
+	fmt.Printf("on-chip: %.2f mm², %.1f µs to solution\n",
+		rep.Chip.AreaMM2, rep.Chip.LatencySeconds*1e6)
+}
+
+// ExampleLoadInstance shows solving a TSPLIB file from disk.
+func ExampleLoadInstance() {
+	f, err := os.Open("problem.tsp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	in, err := cimsa.LoadInstance(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := cimsa.Solve(in, cimsa.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(rep.Tour), "cities routed")
+}
+
+// ExampleSolveName shows the built-in paper workloads.
+func ExampleSolveName() {
+	rep, err := cimsa.SolveName("pcb3038", cimsa.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pcb3038: %.1f Mb weight SRAM on chip\n",
+		float64(rep.Chip.PhysicalWeightBits)/1e6)
+}

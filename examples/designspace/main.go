@@ -1,0 +1,66 @@
+// Design-space exploration: reproduce the Table I methodology on a
+// custom workload. Given one instance, sweep the clustering strategies
+// (arbitrary / strictly fixed / semi-flexible) and, for the
+// hardware-realizable ones, report provisioned memory alongside solution
+// quality — the trade-off that drives the paper's p_max = 3 choice.
+// Also demonstrates the ablation modes: what happens to quality when the
+// noisy-SRAM annealing is replaced by greedy descent or by the
+// spin-noise design of the prior work [4].
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/heuristics"
+	"cimsa/internal/tsplib"
+)
+
+func main() {
+	in := tsplib.Generate("designspace2500", 2500, tsplib.StyleClustered, 17)
+	_, ref := heuristics.Reference(in)
+	fmt.Printf("workload: %d clustered cities, reference tour %.0f\n\n", in.N(), ref)
+
+	fmt.Println("clustering strategy sweep (noisy-CIM annealing):")
+	fmt.Printf("%-16s %14s %14s\n", "strategy", "memory (kB)", "optimal ratio")
+	for _, s := range []cluster.Strategy{
+		{Kind: cluster.Arbitrary},
+		{Kind: cluster.Fixed, P: 2},
+		{Kind: cluster.Fixed, P: 4},
+		{Kind: cluster.SemiFlex, P: 2},
+		{Kind: cluster.SemiFlex, P: 3},
+		{Kind: cluster.SemiFlex, P: 4},
+	} {
+		res, err := clustered.Solve(in, clustered.Options{Strategy: s, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mem := "-"
+		if kb := float64(cluster.ProvisionedBytes(in.N(), s)) / 1000; kb > 0 {
+			mem = fmt.Sprintf("%.1f", kb)
+		}
+		fmt.Printf("%-16s %14s %14.3f\n", s, mem, res.Length/ref)
+	}
+
+	fmt.Println("\nrandomness-source ablation (semiflex p_max=3):")
+	for _, m := range []clustered.Mode{
+		clustered.ModeNoisyCIM,
+		clustered.ModeMetropolis,
+		clustered.ModeGreedy,
+		clustered.ModeNoisySpins,
+	} {
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+			Mode:     m,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s optimal ratio %.3f\n", m, res.Length/ref)
+	}
+}

@@ -1,0 +1,91 @@
+// Logistics: a delivery fleet must visit thousands of addresses spread
+// over towns and highway corridors (the usa*/d* TSPLIB motif). This
+// example partitions the region into per-vehicle territories with the
+// same hierarchical clustering the annealer uses internally, then solves
+// one tour per vehicle and compares total distance and makespan against
+// a single giant tour.
+//
+//	go run ./examples/logistics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimsa"
+	"cimsa/internal/cluster"
+	"cimsa/internal/tsplib"
+)
+
+func main() {
+	const (
+		addresses = 4000
+		vehicles  = 8
+	)
+	region := tsplib.Generate("deliveries4000", addresses, tsplib.StyleGeographic, 11)
+
+	// One giant tour as the baseline (a single vehicle doing everything).
+	single, err := cimsa.Solve(region, cimsa.Options{PMax: 3, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d addresses, single-vehicle tour: %.0f km\n", addresses, single.Length/10)
+
+	// Split into territories: build a hierarchy and walk down until the
+	// level has at least `vehicles` clusters, then group contiguously.
+	h, err := cluster.Build(region.Cities, cluster.Strategy{Kind: cluster.SemiFlex, P: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	level := h.Top()
+	for li := h.NumLevels() - 1; li >= 0 && len(h.Levels[li]) < vehicles; li-- {
+		level = h.Levels[li]
+	}
+	territories := make([][]int, vehicles)
+	perVehicle := (len(level) + vehicles - 1) / vehicles
+	for vi := 0; vi < vehicles; vi++ {
+		lo := vi * perVehicle
+		hi := lo + perVehicle
+		if hi > len(level) {
+			hi = len(level)
+		}
+		for _, node := range level[lo:hi] {
+			territories[vi] = append(territories[vi], leafCities(node)...)
+		}
+	}
+
+	var total, makespan float64
+	fmt.Printf("%8s %10s %12s\n", "vehicle", "stops", "route (km)")
+	for vi, cities := range territories {
+		if len(cities) < 3 {
+			continue
+		}
+		sub := region.SubInstance(fmt.Sprintf("territory%d", vi), cities)
+		rep, err := cimsa.Solve(sub, cimsa.Options{PMax: 3, Seed: uint64(20 + vi), SkipHardware: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		km := rep.Length / 10
+		total += km
+		if km > makespan {
+			makespan = km
+		}
+		fmt.Printf("%8d %10d %12.0f\n", vi, len(cities), km)
+	}
+	fmt.Printf("fleet total %.0f km, makespan %.0f km (single vehicle: %.0f km)\n",
+		total, makespan, single.Length/10)
+	fmt.Printf("fleet finishes ~%.1fx sooner than the single vehicle\n",
+		single.Length/10/makespan)
+}
+
+// leafCities collects the city indices under a hierarchy node.
+func leafCities(n *cluster.Node) []int {
+	if n.IsLeaf() {
+		return []int{n.City}
+	}
+	var out []int
+	for _, c := range n.Children {
+		out = append(out, leafCities(c)...)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// PCB drill routing: the motivating workload behind the pcb* TSPLIB
+// family. A drilling machine must visit every hole on a board exactly
+// once; the tour length is machine travel time. This example synthesizes
+// a PCB-style board, solves it at each cluster bound p_max and reports
+// the quality/hardware trade-off of Table I / Fig. 7 on a single board,
+// plus the estimated drilling time saved versus a naive row-scan path.
+//
+//	go run ./examples/pcbdrill
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"cimsa"
+	"cimsa/internal/tsplib"
+	"cimsa/internal/viz"
+)
+
+func main() {
+	const holes = 3000
+	board := tsplib.Generate("pcbdrill3000", holes, tsplib.StylePCB, 7)
+
+	// Naive baseline a drill controller might ship with: scan holes in
+	// row-major board order.
+	naive := rowScanLength(board)
+	fmt.Printf("board with %d drill holes\n", holes)
+	fmt.Printf("naive row-scan path  : %.0f mm of head travel\n", naive)
+
+	type result struct {
+		pmax    int
+		length  float64
+		ratio   float64
+		areaMM2 float64
+		timeUS  float64
+	}
+	var results []result
+	for _, pmax := range []int{2, 3, 4} {
+		rep, err := cimsa.Solve(board, cimsa.Options{PMax: pmax, Seed: 3, Reference: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{
+			pmax:    pmax,
+			length:  rep.Length,
+			ratio:   rep.OptimalRatio,
+			areaMM2: rep.Chip.AreaMM2,
+			timeUS:  rep.Chip.LatencySeconds * 1e6,
+		})
+	}
+
+	fmt.Printf("%6s %14s %14s %12s %14s\n", "p_max", "travel (mm)", "vs reference", "chip (mm²)", "solve (µs)")
+	for _, r := range results {
+		fmt.Printf("%6d %14.0f %14.3f %12.2f %14.1f\n", r.pmax, r.length, r.ratio, r.areaMM2, r.timeUS)
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.length < best.length {
+			best = r
+		}
+	}
+	fmt.Printf("best annealed path saves %.1f%% travel vs the row scan\n",
+		100*(1-best.length/naive))
+
+	// Render the winning path for inspection.
+	rep, err := cimsa.Solve(board, cimsa.Options{PMax: best.pmax, Seed: 3, SkipHardware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("pcbdrill.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	title := fmt.Sprintf("pcbdrill3000 p_max=%d: %.0f mm", best.pmax, rep.Length)
+	if err := viz.WriteSVG(f, board, rep.Tour, viz.Options{ShowCities: true, Title: title}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drill path rendered to pcbdrill.svg")
+}
+
+// rowScanLength visits holes sorted by (row band, x) like a naive
+// controller.
+func rowScanLength(in *tsplib.Instance) float64 {
+	idx := make([]int, in.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	const band = 10.0
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := in.Cities[idx[a]], in.Cities[idx[b]]
+		ba, bb := int(pa.Y/band), int(pb.Y/band)
+		if ba != bb {
+			return ba < bb
+		}
+		if ba%2 == 0 { // serpentine within bands
+			return pa.X < pb.X
+		}
+		return pa.X > pb.X
+	})
+	var sum float64
+	for i := 0; i < len(idx); i++ {
+		sum += in.Dist(idx[i], idx[(i+1)%len(idx)])
+	}
+	return sum
+}

@@ -1,0 +1,42 @@
+// Quickstart: solve a synthetic 1000-city TSP with the clustered
+// noisy-CIM annealer, compare against the classical reference solver,
+// and print the modelled hardware cost of doing it on-chip.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimsa"
+)
+
+func main() {
+	// Synthesize a deterministic 1000-city instance. Use
+	// cimsa.LoadInstance to read a real TSPLIB .tsp file instead.
+	in := cimsa.GenerateInstance("quickstart1000", 1000, 42)
+
+	rep, err := cimsa.Solve(in, cimsa.Options{
+		PMax:      3,    // the paper's recommended cluster size bound
+		Seed:      1,    // reproducible run
+		Reference: true, // also run the classical solver for the ratio
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("solved %s: %d cities\n", rep.Instance, rep.N)
+	fmt.Printf("  annealer tour length : %.0f\n", rep.Length)
+	fmt.Printf("  classical reference  : %.0f\n", rep.ReferenceLength)
+	fmt.Printf("  optimal ratio        : %.3f\n", rep.OptimalRatio)
+	fmt.Printf("  annealing            : %d levels x 400 iterations, %d/%d swaps accepted\n",
+		rep.Solver.Levels, rep.Solver.Accepted, rep.Solver.Proposed)
+	fmt.Printf("hardware estimate (16 nm digital CIM):\n")
+	fmt.Printf("  weight memory        : %.2f Mb in %d arrays\n",
+		float64(rep.Chip.PhysicalWeightBits)/1e6, rep.Chip.Arrays)
+	fmt.Printf("  chip area / power    : %.2f mm², %.0f mW\n", rep.Chip.AreaMM2, rep.Chip.PowerMW)
+	fmt.Printf("  time-to-solution     : %.1f µs (%.1f compute + %.1f write)\n",
+		rep.Chip.LatencySeconds*1e6, rep.Chip.ComputeSeconds*1e6, rep.Chip.WriteSeconds*1e6)
+	fmt.Printf("  energy-to-solution   : %.2f µJ\n", rep.Chip.EnergyJ*1e6)
+}

@@ -1,0 +1,3 @@
+module cimsa
+
+go 1.22

@@ -1,0 +1,109 @@
+// Package analogcim models a conventional analog compute-in-memory
+// crossbar to substantiate the paper's key architectural argument
+// (§III.B): analog CIM integrates current along the *entire* bit line,
+// so it cannot sum just a section of a column. When the compact weight
+// mapping relocates several clusters' windows into the same physical
+// columns, an analog readout mixes their partial sums together and the
+// computed spin energies are corrupted; a digital adder tree can gate
+// the summation window and stays exact. The tests in this package
+// demonstrate both halves of that claim quantitatively.
+//
+// The crossbar model includes the analog non-idealities that matter for
+// the comparison: full-column current summation, finite ADC resolution,
+// and input-referred noise. Conductances are programmed from the same
+// 8-bit codes the digital arrays store.
+package analogcim
+
+import (
+	"fmt"
+	"math"
+
+	"cimsa/internal/rng"
+)
+
+// Crossbar is an analog CIM array: Rows x Cols conductances, row DACs
+// that apply the input vector as word-line voltages, and one ADC per
+// column that digitizes the integrated bit-line current.
+type Crossbar struct {
+	Rows, Cols int
+	// g holds normalized conductances in [0, 1], row-major.
+	g []float64
+	// ADCBits is the column ADC resolution.
+	ADCBits int
+	// NoiseRMS is the input-referred readout noise as a fraction of the
+	// full-scale column current.
+	NoiseRMS float64
+	// rnd drives the readout noise.
+	rnd *rng.Rand
+}
+
+// New builds a crossbar with all conductances at zero.
+func New(rows, cols, adcBits int, noiseRMS float64, seed uint64) (*Crossbar, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("analogcim: bad shape %dx%d", rows, cols)
+	}
+	if adcBits < 1 || adcBits > 16 {
+		return nil, fmt.Errorf("analogcim: ADC bits %d out of range", adcBits)
+	}
+	if noiseRMS < 0 {
+		return nil, fmt.Errorf("analogcim: negative noise")
+	}
+	return &Crossbar{
+		Rows:     rows,
+		Cols:     cols,
+		g:        make([]float64, rows*cols),
+		ADCBits:  adcBits,
+		NoiseRMS: noiseRMS,
+		rnd:      rng.New(seed),
+	}, nil
+}
+
+// Program writes an 8-bit weight code as a normalized conductance.
+func (c *Crossbar) Program(row, col int, code uint8) {
+	c.g[row*c.Cols+col] = float64(code) / 255
+}
+
+// ReadColumn applies the 0/1 input vector to the word lines and returns
+// the digitized column sum in code units (0..255 scale). The summation
+// is physically over the whole column: there is no way to exclude rows
+// other than driving their inputs to zero — which is exactly what the
+// compact mapping cannot do, because different windows sharing the
+// column need *different* row subsets active in the same cycle.
+func (c *Crossbar) ReadColumn(inputs []uint8, col int) (float64, error) {
+	if len(inputs) != c.Rows {
+		return 0, fmt.Errorf("analogcim: %d inputs for %d rows", len(inputs), c.Rows)
+	}
+	if col < 0 || col >= c.Cols {
+		return 0, fmt.Errorf("analogcim: column %d out of range", col)
+	}
+	var current float64
+	for r, in := range inputs {
+		if in != 0 {
+			current += c.g[r*c.Cols+col]
+		}
+	}
+	// Full-scale: all rows at max conductance.
+	fullScale := float64(c.Rows)
+	current += c.rnd.NormFloat64() * c.NoiseRMS * fullScale
+	if current < 0 {
+		current = 0
+	}
+	if current > fullScale {
+		current = fullScale
+	}
+	// ADC quantization over the full-scale range, reported in weight-code
+	// units (x255 to compare against digital integer sums).
+	levels := float64(int(1)<<uint(c.ADCBits)) - 1
+	codeNorm := math.Round(current/fullScale*levels) / levels
+	return codeNorm * fullScale * 255, nil
+}
+
+// IdealColumnSum is the noiseless, un-quantized dot product restricted
+// to the given active rows — what a digital adder tree computes exactly.
+func (c *Crossbar) IdealColumnSum(activeRows []int, col int) float64 {
+	var sum float64
+	for _, r := range activeRows {
+		sum += c.g[r*c.Cols+col] * 255
+	}
+	return sum
+}

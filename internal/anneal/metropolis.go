@@ -1,0 +1,82 @@
+package anneal
+
+import (
+	"math"
+
+	"cimsa/internal/ising"
+	"cimsa/internal/rng"
+)
+
+// Result summarizes an annealing run.
+type Result struct {
+	// Energy is the best Hamiltonian value seen.
+	Energy float64
+	// Accepted and Proposed count Metropolis decisions.
+	Accepted, Proposed int
+	// Trace, if requested, holds the current energy after each sweep.
+	Trace []float64
+}
+
+// Options configures an annealing run.
+type Options struct {
+	// Sweeps is the number of full passes over all spins.
+	Sweeps int
+	// Schedule supplies the temperature; defaults to Geometric{10, 0.01}.
+	Schedule Schedule
+	// Seed seeds the Metropolis randomness.
+	Seed uint64
+	// RecordTrace stores the energy after every sweep in Result.Trace.
+	RecordTrace bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Sweeps == 0 {
+		out.Sweeps = 100
+	}
+	if out.Schedule == nil {
+		out.Schedule = Geometric{Start: 10, End: 0.01}
+	}
+	return out
+}
+
+// Ising runs single-spin-flip Metropolis annealing on a general Ising
+// model, mutating spins in place, and returns the run summary. The final
+// spin state is the last accepted state (not necessarily the best).
+func Ising(m *ising.Model, spins []int8, opts Options) Result {
+	o := opts.withDefaults()
+	r := rng.New(o.Seed)
+	res := Result{Energy: m.Energy(spins)}
+	cur := res.Energy
+	for sweep := 0; sweep < o.Sweeps; sweep++ {
+		temp := o.Schedule.Temperature(sweep, o.Sweeps)
+		for step := 0; step < m.N; step++ {
+			i := r.Intn(m.N)
+			delta := m.DeltaFlip(spins, i)
+			res.Proposed++
+			if accept(delta, temp, r) {
+				ising.FlipSpin(spins, i)
+				cur += delta
+				res.Accepted++
+				if cur < res.Energy {
+					res.Energy = cur
+				}
+			}
+		}
+		if o.RecordTrace {
+			res.Trace = append(res.Trace, cur)
+		}
+	}
+	return res
+}
+
+// accept implements the Metropolis criterion.
+func accept(delta, temp float64, r *rng.Rand) bool {
+	if delta <= 0 {
+		return true
+	}
+	if temp <= 0 {
+		return false
+	}
+	return r.Float64() < math.Exp(-delta/temp)
+}

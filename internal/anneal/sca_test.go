@@ -1,0 +1,110 @@
+package anneal_test
+
+import (
+	"testing"
+
+	"cimsa/internal/anneal"
+	"cimsa/internal/ising"
+	"cimsa/internal/maxcut"
+)
+
+func TestSCAFerromagnet(t *testing.T) {
+	n := 14
+	m := ising.NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetJ(i, j, 1)
+		}
+	}
+	res, err := anneal.SCA(m, anneal.SCAOptions{Steps: 600, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -float64(n * (n - 1) / 2)
+	if res.Energy != want {
+		t.Fatalf("SCA reached %v, ground is %v", res.Energy, want)
+	}
+	if res.Flips == 0 {
+		t.Fatal("no flips recorded")
+	}
+}
+
+func TestSCAMaxCutNearOptimal(t *testing.T) {
+	g := maxcut.Random(16, 0.5, 7)
+	m, err := g.ToIsing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := anneal.SCA(m, anneal.SCAOptions{Steps: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := g.CutValue(res.Spins)
+	opt := maxcut.BruteForce(g)
+	if cut < 0.95*opt {
+		t.Fatalf("SCA cut %v below 95%% of optimum %v", cut, opt)
+	}
+}
+
+func TestSCADeterministic(t *testing.T) {
+	g := maxcut.Random(30, 0.3, 8)
+	m, err := g.ToIsing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := anneal.SCA(m, anneal.SCAOptions{Steps: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := anneal.SCA(m, anneal.SCAOptions{Steps: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Flips != b.Flips {
+		t.Fatalf("runs differ: %v/%d vs %v/%d", a.Energy, a.Flips, b.Energy, b.Flips)
+	}
+}
+
+func TestSCASelfPenaltyFreezesDynamics(t *testing.T) {
+	// With the penalty annealed high, late rounds should flip far fewer
+	// spins than early rounds: compare flips in a short hot run vs a
+	// full annealed run's tail.
+	g := maxcut.Random(40, 0.4, 10)
+	m, err := g.ToIsing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := anneal.SCA(m, anneal.SCAOptions{Steps: 800, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail (last 10% of rounds) must flip far less per round than
+	// the run average: the q/T schedule froze the dynamics.
+	avg := float64(full.Flips) / 800
+	tail := float64(full.TailFlips) / 80
+	if tail > avg/2 {
+		t.Fatalf("SCA never froze: %.2f tail flips/round vs %.2f average", tail, avg)
+	}
+}
+
+func TestSCARejectsInvalidModel(t *testing.T) {
+	m := ising.NewModel(3)
+	m.J[0][1] = 2 // asymmetric
+	if _, err := anneal.SCA(m, anneal.SCAOptions{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func BenchmarkSCA64(b *testing.B) {
+	g := maxcut.Random(64, 0.3, 1)
+	m, err := g.ToIsing()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := anneal.SCA(m, anneal.SCAOptions{Steps: 200, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

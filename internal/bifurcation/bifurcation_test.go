@@ -1,0 +1,142 @@
+package bifurcation
+
+import (
+	"testing"
+
+	"cimsa/internal/ising"
+	"cimsa/internal/maxcut"
+	"cimsa/internal/rng"
+)
+
+func TestSolveFerromagnet(t *testing.T) {
+	n := 16
+	m := ising.NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetJ(i, j, 1)
+		}
+	}
+	res, err := SolveIsing(m, Options{Steps: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -float64(n * (n - 1) / 2)
+	if res.Energy != want {
+		t.Fatalf("bSB reached %v, ground state is %v", res.Energy, want)
+	}
+	// All spins aligned.
+	for i := 1; i < n; i++ {
+		if res.Spins[i] != res.Spins[0] {
+			t.Fatal("ferromagnet ground state not aligned")
+		}
+	}
+	if !res.Bifurcated {
+		t.Fatal("run did not bifurcate")
+	}
+}
+
+func TestSolveMaxCutNearOptimal(t *testing.T) {
+	g := maxcut.Random(16, 0.5, 2)
+	m, err := g.ToIsing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveIsing(m, Options{Steps: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := g.CutValue(res.Spins)
+	opt := maxcut.BruteForce(g)
+	if cut < 0.95*opt {
+		t.Fatalf("bSB cut %v below 95%% of optimum %v", cut, opt)
+	}
+}
+
+func TestSolveBipartiteExact(t *testing.T) {
+	g := maxcut.CompleteBipartite(6, 6)
+	m, err := g.ToIsing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveIsing(m, Options{Steps: 1000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := g.CutValue(res.Spins); cut != 36 {
+		t.Fatalf("bipartite cut %v, want 36", cut)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m := ising.NewModel(10)
+	r := rng.New(5)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			m.SetJ(i, j, r.NormFloat64())
+		}
+	}
+	a, err := SolveIsing(m, Options{Steps: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveIsing(m, Options{Steps: 300, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("runs differ: %v vs %v", a.Energy, b.Energy)
+	}
+}
+
+func TestRejectsInvalidModel(t *testing.T) {
+	m := ising.NewModel(3)
+	m.J[0][1] = 5 // asymmetric
+	if _, err := SolveIsing(m, Options{}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestExternalFieldBias(t *testing.T) {
+	// Two uncoupled spins with opposite fields must align to the fields.
+	m := ising.NewModel(2)
+	m.H[0] = 2
+	m.H[1] = -2
+	res, err := SolveIsing(m, Options{Steps: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spins[0] != 1 || res.Spins[1] != -1 {
+		t.Fatalf("field bias ignored: %v", res.Spins)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	m := ising.NewModel(4)
+	m.SetJ(0, 1, 1)
+	m.SetJ(2, 3, 1)
+	res, err := SolveIsing(m, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spins) != 4 {
+		t.Fatalf("spins length %d", len(res.Spins))
+	}
+	// Paired couplings satisfied.
+	if res.Spins[0] != res.Spins[1] || res.Spins[2] != res.Spins[3] {
+		t.Fatalf("pair couplings unsatisfied: %v", res.Spins)
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	g := maxcut.Random(64, 0.3, 1)
+	m, err := g.ToIsing()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveIsing(m, Options{Steps: 200, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package cim is the functional model of the digital compute-in-memory
+// macro (§III of the paper): 14T bit cells whose NOR gates multiply a
+// 1-bit input by a stored weight bit, cell and window MUX transmission
+// gates that select one column of one window, and an adder tree that
+// sums a *section* of the column — the flexibility that makes the
+// compact O(N) weight mapping legal where analog CIM would corrupt it.
+//
+// Everything here is bit-exact: the clustered annealer computes its swap
+// energies through these models, so hardware/software equivalence is a
+// test, not an assumption.
+package cim
+
+import "cimsa/internal/fixed"
+
+// NorMultiply is the 14T cell's compute: a NOR gate with the stored
+// weight bit on one input and the (inverted) data line on the other
+// realizes a 1-bit AND of input and weight. Inputs must be 0 or 1.
+func NorMultiply(input, weight uint8) uint8 {
+	// NOR(^in, ^w) == in AND w for one-bit signals.
+	return ((input ^ 1) | (weight ^ 1)) ^ 1
+}
+
+// AdderTree reduces one window column: n one-bit products per bit plane,
+// then shift-and-add across the 8 planes. It mirrors the hardware
+// structure so depth and adder counts are available to the PPA model.
+type AdderTree struct {
+	// Inputs is the number of one-bit products the tree sums (p²+2p).
+	Inputs int
+}
+
+// Depth returns the number of full-adder stages: ceil(log2(Inputs)).
+func (t AdderTree) Depth() int {
+	d := 0
+	for n := t.Inputs; n > 1; n = (n + 1) / 2 {
+		d++
+	}
+	return d
+}
+
+// AdderCount approximates the number of single-bit full adders in the
+// reduction tree for w-bit operands: (Inputs-1) adders of growing width.
+func (t AdderTree) AdderCount(bits int) int {
+	if t.Inputs <= 1 {
+		return 0
+	}
+	// Each 2:1 reduction of b-bit operands needs ~b FAs; widths grow by
+	// one bit per level. Sum over the binary reduction tree.
+	total := 0
+	n := t.Inputs
+	width := bits
+	for n > 1 {
+		pairs := n / 2
+		total += pairs * width
+		n = (n + 1) / 2
+		width++
+	}
+	return total
+}
+
+// SumColumn computes the multi-bit MAC for one selected column: for each
+// bit plane b, the tree sums the 1-bit products input[r] * weightBit,
+// then the plane sums are shifted and added. inputs[r] must be 0 or 1;
+// weights[r] is the 8-bit code stored in row r of the selected column.
+// The result is exact (no saturation): the paper's 8-bit weights with
+// p²+2p <= 24 rows need at most 8+5 bits, well within int range.
+func (t AdderTree) SumColumn(inputs []uint8, weights []uint8) int {
+	if len(inputs) != len(weights) {
+		panic("cim: input/weight row count mismatch")
+	}
+	if len(inputs) != t.Inputs {
+		panic("cim: row count does not match tree size")
+	}
+	total := 0
+	for b := 0; b < fixed.Bits; b++ {
+		planeSum := 0
+		for r := range inputs {
+			planeSum += int(NorMultiply(inputs[r], fixed.Bit(weights[r], b)))
+		}
+		total += planeSum << uint(b)
+	}
+	return total
+}

@@ -1,0 +1,116 @@
+package cim
+
+import "fmt"
+
+// System models the multi-array organization of Fig. 5(c)/(e): windows
+// (clusters) are packed ten to an array — five rows by two columns, odd
+// clusters in the solid column and even clusters in the dash column —
+// and each array holds an input register bank with one slot per window
+// row. Between phases the registers shift so the relocated compact
+// windows see aligned inputs, and only the p one-hot bits identifying a
+// boundary element cross between neighbouring arrays: downstream during
+// solid phases, upstream during dash phases.
+//
+// The System is a bookkeeping model: it tracks which boundary values
+// each array holds locally versus which must arrive over the inter-array
+// links, and it verifies the paper's claim that the link traffic is p
+// bits per phase per array edge. The arithmetic itself lives in Window.
+type System struct {
+	PMax int
+	// windows[i] is cluster i's weight window.
+	windows []*Window
+	// boundary[i] holds the element index each cluster currently exposes
+	// at its edges: first and last ordered elements.
+	first, last []int
+	// TransferLog counts inter-array transfers by phase.
+	Transfers map[Phase]int
+}
+
+// NewSystem lays out the windows of one annealing level onto arrays.
+// firstElem/lastElem give each cluster's initial edge elements.
+func NewSystem(pMax int, windows []*Window, firstElem, lastElem []int) (*System, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("cim: empty system")
+	}
+	if len(firstElem) != len(windows) || len(lastElem) != len(windows) {
+		return nil, fmt.Errorf("cim: edge-element slices must match window count")
+	}
+	for i, w := range windows {
+		if w == nil {
+			return nil, fmt.Errorf("cim: window %d is nil", i)
+		}
+		if w.P > pMax {
+			return nil, fmt.Errorf("cim: window %d has %d elements, exceeds pMax %d", i, w.P, pMax)
+		}
+	}
+	s := &System{
+		PMax:      pMax,
+		windows:   windows,
+		first:     append([]int(nil), firstElem...),
+		last:      append([]int(nil), lastElem...),
+		Transfers: map[Phase]int{},
+	}
+	return s, nil
+}
+
+// Windows returns the number of windows (clusters).
+func (s *System) Windows() int { return len(s.windows) }
+
+// Arrays returns the number of physical arrays.
+func (s *System) Arrays() int { return ArrayCount(len(s.windows)) }
+
+// SetEdges updates a cluster's exposed edge elements after an accepted
+// swap changed its order.
+func (s *System) SetEdges(cluster, firstElem, lastElem int) {
+	s.first[cluster] = firstElem
+	s.last[cluster] = lastElem
+}
+
+// BoundaryInputs resolves the boundary spin inputs cluster ci needs for
+// a MAC in the given phase and records whether fetching them crossed an
+// array boundary (Fig. 5e: the prev cluster's last element arrives from
+// upstream during solid phases; the next cluster's first element from
+// downstream during dash phases — whenever the neighbour lives in a
+// different array, p bits cross the link).
+func (s *System) BoundaryInputs(ci int, phase Phase) (prevElem, nextElem int) {
+	nc := len(s.windows)
+	prev := (ci - 1 + nc) % nc
+	next := (ci + 1) % nc
+	if ArrayOf(prev) != ArrayOf(ci) {
+		s.Transfers[phase] += BoundaryTransferBits(s.PMax)
+	}
+	if ArrayOf(next) != ArrayOf(ci) {
+		s.Transfers[phase] += BoundaryTransferBits(s.PMax)
+	}
+	return s.last[prev], s.first[next]
+}
+
+// PhaseClusters lists the clusters that update in the given phase, in
+// order. (The odd-count conflict cluster is deferred to the dash phase
+// of the *next* iteration by the solver; the system model just reports
+// the nominal two-phase split.)
+func (s *System) PhaseClusters(phase Phase) []int {
+	var out []int
+	for ci := range s.windows {
+		if PhaseOf(ci) == phase {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// LinkTrafficPerIteration returns the worst-case number of bits crossing
+// each inter-array link during one full update iteration: p bits
+// downstream in the solid phase plus p bits upstream in the dash phase.
+func (s *System) LinkTrafficPerIteration() int {
+	return 2 * BoundaryTransferBits(s.PMax)
+}
+
+// RegisterShift models the intra-array input-register alignment of
+// Fig. 5(e): switching from the solid-window to the dash-window column
+// shifts the register bank up by one window height. It returns the
+// number of register slots that move, which costs one cycle in the
+// pipeline model (overlapped with the compare stage).
+func (s *System) RegisterShift() int {
+	return ProvisionedRows(s.PMax)
+}

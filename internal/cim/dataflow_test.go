@@ -1,0 +1,153 @@
+package cim
+
+import "testing"
+
+// makeSystem builds a system of n two-element windows.
+func makeSystem(t *testing.T, n int) *System {
+	t.Helper()
+	intra := [][]float64{{0, 10}, {10, 0}}
+	cross := [][]float64{{5, 6}, {7, 8}}
+	windows := make([]*Window, n)
+	first := make([]int, n)
+	last := make([]int, n)
+	for i := range windows {
+		w, err := NewWindow(i, intra, cross, cross)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows[i] = w
+		first[i] = 0
+		last[i] = 1
+	}
+	s, err := NewSystem(2, windows, first, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSystemLayout(t *testing.T) {
+	s := makeSystem(t, 25)
+	if s.Windows() != 25 {
+		t.Fatalf("windows = %d", s.Windows())
+	}
+	if s.Arrays() != 3 { // ceil(25/10)
+		t.Fatalf("arrays = %d", s.Arrays())
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(2, nil, nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	intra := [][]float64{{0, 1, 2}, {1, 0, 3}, {2, 3, 0}}
+	w3, err := NewWindow(0, intra, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSystem(2, []*Window{w3}, []int{0}, []int{2}); err == nil {
+		t.Fatal("oversized window accepted for pMax=2")
+	}
+	if _, err := NewSystem(3, []*Window{w3}, []int{0}, nil); err == nil {
+		t.Fatal("mismatched edge slices accepted")
+	}
+	if _, err := NewSystem(3, []*Window{nil}, []int{0}, []int{0}); err == nil {
+		t.Fatal("nil window accepted")
+	}
+}
+
+func TestPhaseClustersPartition(t *testing.T) {
+	s := makeSystem(t, 12)
+	solid := s.PhaseClusters(PhaseSolid)
+	dash := s.PhaseClusters(PhaseDash)
+	if len(solid)+len(dash) != 12 {
+		t.Fatalf("phases cover %d clusters", len(solid)+len(dash))
+	}
+	for _, ci := range solid {
+		if ci%2 != 1 {
+			t.Fatalf("even cluster %d in solid phase", ci)
+		}
+	}
+	for _, ci := range dash {
+		if ci%2 != 0 {
+			t.Fatalf("odd cluster %d in dash phase", ci)
+		}
+	}
+}
+
+func TestBoundaryInputsValues(t *testing.T) {
+	s := makeSystem(t, 8)
+	s.SetEdges(2, 1, 0) // cluster 2 now exposes first=1, last=0
+	prevElem, nextElem := s.BoundaryInputs(3, PhaseSolid)
+	if prevElem != 0 { // cluster 2's last element
+		t.Fatalf("prevElem = %d, want 0", prevElem)
+	}
+	if nextElem != 0 { // cluster 4's first element (unchanged)
+		t.Fatalf("nextElem = %d, want 0", nextElem)
+	}
+	// Wrap-around: cluster 0's prev is cluster 7.
+	s.SetEdges(7, 0, 1)
+	prevElem, _ = s.BoundaryInputs(0, PhaseDash)
+	if prevElem != 1 {
+		t.Fatalf("wrapped prevElem = %d, want 1", prevElem)
+	}
+}
+
+func TestInterArrayTransfersOnlyAtArrayEdges(t *testing.T) {
+	// 20 windows = 2 arrays. Within one array no transfers; between
+	// arrays p bits per boundary fetch.
+	s := makeSystem(t, 20)
+	// Cluster 5's neighbours (4 and 6) are in the same array: no traffic.
+	s.BoundaryInputs(5, PhaseSolid)
+	if got := s.Transfers[PhaseSolid]; got != 0 {
+		t.Fatalf("intra-array fetch logged %d transfer bits", got)
+	}
+	// Cluster 9's next neighbour (10) lives in array 1: p bits.
+	s.BoundaryInputs(9, PhaseSolid)
+	if got := s.Transfers[PhaseSolid]; got != 2 {
+		t.Fatalf("array-edge fetch logged %d bits, want p=2", got)
+	}
+	// Cluster 10's prev neighbour (9) is in array 0: p more bits, in the
+	// dash phase this time.
+	s.BoundaryInputs(10, PhaseDash)
+	if got := s.Transfers[PhaseDash]; got != 2 {
+		t.Fatalf("dash fetch logged %d bits, want 2", got)
+	}
+}
+
+func TestWrapAroundCrossesArrays(t *testing.T) {
+	s := makeSystem(t, 20)
+	// Cluster 0's prev is cluster 19 (array 1): the ring closes over the
+	// array boundary.
+	s.BoundaryInputs(0, PhaseDash)
+	if got := s.Transfers[PhaseDash]; got != 2 {
+		t.Fatalf("wrap fetch logged %d bits, want 2", got)
+	}
+}
+
+func TestLinkTrafficMatchesPaper(t *testing.T) {
+	// Fig. 5(e): p bits downstream (solid) + p bits upstream (dash) per
+	// iteration per link.
+	s := makeSystem(t, 20)
+	if got := s.LinkTrafficPerIteration(); got != 4 { // 2*p, p=2
+		t.Fatalf("link traffic %d bits/iteration, want 4", got)
+	}
+}
+
+func TestRegisterShiftHeight(t *testing.T) {
+	s := makeSystem(t, 10)
+	if got := s.RegisterShift(); got != ProvisionedRows(2) {
+		t.Fatalf("register shift %d, want %d", got, ProvisionedRows(2))
+	}
+}
+
+func TestSingleArraySystemNeverTransfers(t *testing.T) {
+	s := makeSystem(t, 6) // all in array 0
+	for ci := 0; ci < 6; ci++ {
+		s.BoundaryInputs(ci, PhaseSolid)
+		s.BoundaryInputs(ci, PhaseDash)
+	}
+	if s.Transfers[PhaseSolid]+s.Transfers[PhaseDash] != 0 {
+		t.Fatalf("single-array system logged transfers: %v", s.Transfers)
+	}
+}

@@ -1,0 +1,272 @@
+package cim
+
+import (
+	"fmt"
+
+	"cimsa/internal/fixed"
+	"cimsa/internal/noise"
+)
+
+// Window is the compact-mapped weight block of one cluster (Fig. 3c):
+// P² columns (one per own spin: order slot i × element k) and
+// P² + PPrev + PNext rows (own spins plus the boundary spins of the
+// previous and next clusters). Only couplings between adjacent order
+// slots are nonzero, but *all* cells physically exist and are exposed to
+// pseudo-read noise — flipped zero-weights contribute annealing noise
+// exactly as on silicon.
+type Window struct {
+	// Index is the window's position in the chip (= cluster index at the
+	// current level); it namespaces the cell IDs.
+	Index int
+	// P is the cluster's element count; PPrev/PNext those of the
+	// neighbouring clusters.
+	P, PPrev, PNext int
+	// Quant converts between distances and 8-bit codes for this window.
+	Quant fixed.Quantizer
+	// clean holds the written codes, row-major: clean[row*Cols()+col].
+	clean []uint8
+	// noisy holds the codes as the compute path currently observes them
+	// (after the last pseudo-read epoch).
+	noisy []uint8
+}
+
+// Rows returns the window's row count: P² own spins + boundary spins.
+func (w *Window) Rows() int { return w.P*w.P + w.PPrev + w.PNext }
+
+// Cols returns the window's column count: P².
+func (w *Window) Cols() int { return w.P * w.P }
+
+// ProvisionedRows/ProvisionedCols give the hardware shape for a maximum
+// cluster size pMax: (pMax²+2pMax) × pMax², Table II's "window size".
+func ProvisionedRows(pMax int) int { return pMax*pMax + 2*pMax }
+
+// ProvisionedCols gives the provisioned column count per window.
+func ProvisionedCols(pMax int) int { return pMax * pMax }
+
+// NewWindow builds the window for a cluster from its distance blocks:
+//
+//	intra[m][k]:  distance between own elements m and k (P×P)
+//	fromPrev[m][k]: distance from prev cluster's element m to own k
+//	toNext[m][k]:   distance from own element k to next cluster's element m
+//
+// Distances are quantized against the window's own maximum (per-window
+// scaling, §III.B).
+func NewWindow(index int, intra, fromPrev, toNext [][]float64) (*Window, error) {
+	p := len(intra)
+	if p == 0 {
+		return nil, fmt.Errorf("cim: empty window")
+	}
+	for _, row := range intra {
+		if len(row) != p {
+			return nil, fmt.Errorf("cim: intra block not square")
+		}
+	}
+	pPrev := len(fromPrev)
+	pNext := len(toNext)
+	w := &Window{Index: index, P: p, PPrev: pPrev, PNext: pNext}
+	// Find the window's full scale.
+	maxW := 0.0
+	scan := func(block [][]float64) error {
+		for _, row := range block {
+			if len(row) != p {
+				return fmt.Errorf("cim: boundary block width %d, want %d", len(row), p)
+			}
+			for _, v := range row {
+				if v < 0 {
+					return fmt.Errorf("cim: negative distance %v", v)
+				}
+				if v > maxW {
+					maxW = v
+				}
+			}
+		}
+		return nil
+	}
+	if err := scan(intra); err != nil {
+		return nil, err
+	}
+	if err := scan(fromPrev); err != nil {
+		return nil, err
+	}
+	if err := scan(toNext); err != nil {
+		return nil, err
+	}
+	w.Quant = fixed.NewQuantizer(maxW)
+	rows, cols := w.Rows(), w.Cols()
+	w.clean = make([]uint8, rows*cols)
+	w.noisy = make([]uint8, rows*cols)
+	// Fill couplings. Column (i,k): own order slot i, element k.
+	for i := 0; i < p; i++ {
+		for k := 0; k < p; k++ {
+			col := i*p + k
+			// Own rows (j,m): coupling only for adjacent order slots.
+			for j := 0; j < p; j++ {
+				for m := 0; m < p; m++ {
+					row := j*p + m
+					if j == i-1 || j == i+1 {
+						w.clean[row*cols+col] = w.Quant.Quantize(intra[m][k])
+					}
+				}
+			}
+			// Prev-boundary rows: couple only to order slot 0.
+			if i == 0 {
+				for m := 0; m < pPrev; m++ {
+					row := p*p + m
+					w.clean[row*cols+col] = w.Quant.Quantize(fromPrev[m][k])
+				}
+			}
+			// Next-boundary rows: couple only to the last order slot.
+			if i == p-1 {
+				for m := 0; m < pNext; m++ {
+					row := p*p + pPrev + m
+					w.clean[row*cols+col] = w.Quant.Quantize(toNext[m][k])
+				}
+			}
+		}
+	}
+	copy(w.noisy, w.clean)
+	return w, nil
+}
+
+// MaskWeights truncates the stored clean codes to the given number of
+// significant bits by zeroing the lower 8-bits LSBs (a precision
+// ablation: the paper chooses 8-bit weights "to ensure solution
+// quality"). Must be called before the first WriteBack of an epoch; the
+// visible codes update immediately.
+func (w *Window) MaskWeights(bits int) {
+	if bits >= fixed.Bits || bits < 1 {
+		return
+	}
+	mask := uint8(0xFF) << uint(fixed.Bits-bits)
+	for i, c := range w.clean {
+		w.clean[i] = c & mask
+		w.noisy[i] = w.clean[i]
+	}
+}
+
+// WriteBack restores the clean weights and performs a pseudo-read epoch
+// at the given supply and noisy-LSB count: every stored bit is read
+// through the fabric, so vulnerable cells take their preferred values.
+// With nLSB = 0 or nominal vdd the window reads back clean.
+func (w *Window) WriteBack(f *noise.Fabric, vdd float64, nLSB int) {
+	cols := w.Cols()
+	for row := 0; row < w.Rows(); row++ {
+		for col := 0; col < cols; col++ {
+			idx := row*cols + col
+			base := noise.CellID(w.Index, row, col, 0)
+			w.noisy[idx] = f.ApplyToCode(w.clean[idx], base, vdd, nLSB)
+		}
+	}
+}
+
+// Weight returns the code the compute path currently observes.
+func (w *Window) Weight(row, col int) uint8 { return w.noisy[row*w.Cols()+col] }
+
+// CleanWeight returns the written code.
+func (w *Window) CleanWeight(row, col int) uint8 { return w.clean[row*w.Cols()+col] }
+
+// Inputs describes the spin state feeding one window MAC: the cluster's
+// own order plus the facing boundary elements of its neighbours.
+type Inputs struct {
+	// Order maps the cluster's order slots to element indices.
+	Order []int
+	// PrevElem is the neighbouring element adjacent to slot 0 (the prev
+	// cluster's last-ordered element); -1 if absent.
+	PrevElem int
+	// NextElem is the element adjacent to the last slot (the next
+	// cluster's first-ordered element); -1 if absent.
+	NextElem int
+}
+
+// rowBits materializes the input bit per window row for the given spin
+// state, reusing buf when it has capacity.
+func (w *Window) rowBits(in Inputs, buf []uint8) []uint8 {
+	rows := w.Rows()
+	if cap(buf) < rows {
+		buf = make([]uint8, rows)
+	}
+	bits := buf[:rows]
+	for i := range bits {
+		bits[i] = 0
+	}
+	p := w.P
+	for j, m := range in.Order {
+		bits[j*p+m] = 1
+	}
+	if in.PrevElem >= 0 {
+		bits[p*p+in.PrevElem] = 1
+	}
+	if in.NextElem >= 0 {
+		bits[p*p+w.PPrev+in.NextElem] = 1
+	}
+	return bits
+}
+
+// LocalEnergy computes the MAC for the spin at (order slot i, element k):
+// the adder tree sums input-bit × weight-bit products down the selected
+// column. The result is in quantized units (multiply by Quant.Scale for
+// distance units).
+func (w *Window) LocalEnergy(in Inputs, i, k int, scratch []uint8) int {
+	if len(in.Order) != w.P {
+		panic(fmt.Sprintf("cim: order length %d, window P %d", len(in.Order), w.P))
+	}
+	bits := w.rowBits(in, scratch)
+	col := i*w.P + k
+	cols := w.Cols()
+	// Same reduction as AdderTree.SumColumn, gathering the strided column
+	// in place to avoid a per-MAC allocation.
+	total := 0
+	for b := 0; b < fixed.Bits; b++ {
+		planeSum := 0
+		for r := 0; r < len(bits); r++ {
+			planeSum += int(NorMultiply(bits[r], fixed.Bit(w.noisy[r*cols+col], b)))
+		}
+		total += planeSum << uint(b)
+	}
+	return total
+}
+
+// ColumnSum returns the adder-tree result for the selected column given
+// the set of rows whose input bit is 1. It is mathematically identical
+// to LocalEnergy with the equivalent one-hot input vector (the NOR
+// multiplier zeroes every inactive row), but skips the inactive rows and
+// bit planes — the fast path the annealer's inner loop uses. Equivalence
+// is enforced by tests.
+func (w *Window) ColumnSum(activeRows []int, col int) int {
+	cols := w.Cols()
+	total := 0
+	for _, r := range activeRows {
+		total += int(w.noisy[r*cols+col])
+	}
+	return total
+}
+
+// ActiveRows fills buf with the indices of rows whose input bit is 1 for
+// the given spin state: one row per order slot plus the two boundary
+// rows when present.
+func (w *Window) ActiveRows(in Inputs, buf []int) []int {
+	rows := buf[:0]
+	p := w.P
+	for j, m := range in.Order {
+		rows = append(rows, j*p+m)
+	}
+	if in.PrevElem >= 0 {
+		rows = append(rows, p*p+in.PrevElem)
+	}
+	if in.NextElem >= 0 {
+		rows = append(rows, p*p+w.PPrev+in.NextElem)
+	}
+	return rows
+}
+
+// SwapDelta evaluates the paper's four-MAC swap decision for order slots
+// i and j holding elements k and l: ΔH = H(σ'_il)+H(σ'_jk) − H(σ_ik) −
+// H(σ_jl), in quantized units. The order in Inputs is not modified.
+func (w *Window) SwapDelta(in Inputs, i, j int, scratch []uint8) int {
+	k, l := in.Order[i], in.Order[j]
+	before := w.LocalEnergy(in, i, k, scratch) + w.LocalEnergy(in, j, l, scratch)
+	in.Order[i], in.Order[j] = l, k
+	after := w.LocalEnergy(in, i, l, scratch) + w.LocalEnergy(in, j, k, scratch)
+	in.Order[i], in.Order[j] = k, l
+	return after - before
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/tsplib"
+)
+
+func cities(n int, style tsplib.Style, seed uint64) []geom.Point {
+	return tsplib.Generate("cl-test", n, style, seed).Cities
+}
+
+func TestStrategyValidate(t *testing.T) {
+	valid := []Strategy{
+		{Kind: Arbitrary},
+		{Kind: Fixed, P: 2},
+		{Kind: Fixed, P: 4},
+		{Kind: SemiFlex, P: 3},
+		{Kind: SemiFlex, P: 8},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", s, err)
+		}
+	}
+	invalid := []Strategy{
+		{Kind: Fixed, P: 1},
+		{Kind: Fixed, P: 9},
+		{Kind: SemiFlex, P: 0},
+		{Kind: Kind(42), P: 3},
+	}
+	for _, s := range invalid {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%v accepted", s)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if got := (Strategy{Kind: SemiFlex, P: 3}).String(); got != "semiflex-1..3" {
+		t.Errorf("semiflex string = %q", got)
+	}
+	if got := (Strategy{Kind: Fixed, P: 2}).String(); got != "fixed-2" {
+		t.Errorf("fixed string = %q", got)
+	}
+	if got := (Strategy{Kind: Arbitrary}).String(); got != "arbitrary" {
+		t.Errorf("arbitrary string = %q", got)
+	}
+}
+
+func TestBuildAllStrategies(t *testing.T) {
+	pts := cities(500, tsplib.StyleClustered, 1)
+	for _, s := range []Strategy{
+		{Kind: Arbitrary},
+		{Kind: Fixed, P: 2},
+		{Kind: Fixed, P: 4},
+		{Kind: SemiFlex, P: 2},
+		{Kind: SemiFlex, P: 3},
+		{Kind: SemiFlex, P: 4},
+	} {
+		h, err := Build(pts, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(h.Top()) > TopThreshold {
+			t.Fatalf("%v: top level has %d nodes", s, len(h.Top()))
+		}
+		if h.NumLevels() < 2 {
+			t.Fatalf("%v: only %d levels for 500 cities", s, h.NumLevels())
+		}
+	}
+}
+
+func TestBuildLeafLevelCoversAllCities(t *testing.T) {
+	pts := cities(137, tsplib.StyleUniform, 2)
+	h, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(pts))
+	for _, n := range h.Levels[0] {
+		if !n.IsLeaf() {
+			t.Fatal("level 0 has non-leaf")
+		}
+		if seen[n.City] {
+			t.Fatalf("city %d appears twice", n.City)
+		}
+		seen[n.City] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("city %d missing from leaf level", c)
+		}
+	}
+}
+
+func TestFixedSizesExact(t *testing.T) {
+	pts := cities(300, tsplib.StyleUniform, 3)
+	h, err := Build(pts, Strategy{Kind: Fixed, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clusters except possibly the last of each level have exactly 4
+	// children.
+	for li := 1; li < h.NumLevels(); li++ {
+		smaller := 0
+		for _, n := range h.Levels[li] {
+			if len(n.Children) != 4 {
+				smaller++
+				if len(n.Children) > 4 {
+					t.Fatalf("fixed-4 cluster with %d children", len(n.Children))
+				}
+			}
+		}
+		if smaller > 1 {
+			t.Fatalf("level %d has %d non-full fixed clusters", li, smaller)
+		}
+	}
+}
+
+func TestSemiFlexSizesWithinRange(t *testing.T) {
+	pts := cities(400, tsplib.StyleClustered, 4)
+	h, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 1; li < h.NumLevels(); li++ {
+		for _, n := range h.Levels[li] {
+			if len(n.Children) < 1 || len(n.Children) > 3 {
+				t.Fatalf("semiflex-3 cluster with %d children", len(n.Children))
+			}
+		}
+	}
+}
+
+func TestArbitraryTargetsHalfCount(t *testing.T) {
+	pts := cities(600, tsplib.StyleUniform, 5)
+	h, err := Build(pts, Strategy{Kind: Arbitrary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := len(h.Levels[1])
+	// Should land near 300 clusters (within 20%).
+	if l1 < 240 || l1 > 360 {
+		t.Fatalf("arbitrary produced %d clusters for 600 elements", l1)
+	}
+}
+
+func TestCentroidsAreWeightedMeans(t *testing.T) {
+	pts := cities(64, tsplib.StyleUniform, 6)
+	h, err := Build(pts, Strategy{Kind: SemiFlex, P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *Node) (sx, sy float64, count int)
+	walk = func(n *Node) (float64, float64, int) {
+		if n.IsLeaf() {
+			return n.Centroid.X, n.Centroid.Y, 1
+		}
+		var sx, sy float64
+		var cnt int
+		for _, c := range n.Children {
+			x, y, k := walk(c)
+			sx += x
+			sy += y
+			cnt += k
+		}
+		return sx, sy, cnt
+	}
+	for _, n := range h.Top() {
+		sx, sy, cnt := walk(n)
+		if cnt != n.Leaves {
+			t.Fatalf("leaf count %d, node says %d", cnt, n.Leaves)
+		}
+		wantX, wantY := sx/float64(cnt), sy/float64(cnt)
+		if math.Abs(n.Centroid.X-wantX) > 1e-9 || math.Abs(n.Centroid.Y-wantY) > 1e-9 {
+			t.Fatalf("centroid %v, want (%v,%v)", n.Centroid, wantX, wantY)
+		}
+	}
+}
+
+func TestClustersAreSpatiallyCoherent(t *testing.T) {
+	// Mean intra-cluster pairwise distance should be far below the board
+	// scale for a clustered build.
+	pts := cities(1000, tsplib.StyleUniform, 7)
+	h, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := geom.Bounds(pts)
+	scale := math.Hypot(b.Width(), b.Height())
+	var sum float64
+	var count int
+	for _, n := range h.Levels[1] {
+		for i := 0; i < len(n.Children); i++ {
+			for j := i + 1; j < len(n.Children); j++ {
+				sum += geom.Exact.Dist(n.Children[i].Centroid, n.Children[j].Centroid)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		t.Skip("all singleton clusters")
+	}
+	if mean := sum / float64(count); mean > scale/20 {
+		t.Fatalf("mean intra-cluster distance %v vs board scale %v", mean, scale)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	pts := cities(200, tsplib.StylePCB, 8)
+	a, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLevels() != b.NumLevels() {
+		t.Fatal("level counts differ")
+	}
+	for li := range a.Levels {
+		if len(a.Levels[li]) != len(b.Levels[li]) {
+			t.Fatalf("level %d sizes differ", li)
+		}
+		for i := range a.Levels[li] {
+			if a.Levels[li][i].Centroid != b.Levels[li][i].Centroid {
+				t.Fatalf("level %d node %d differs", li, i)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	pts := cities(100, tsplib.StyleUniform, 9)
+	if _, err := Build(pts, Strategy{Kind: Fixed, P: 1}); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+	if _, err := Build(pts[:2], Strategy{Kind: SemiFlex, P: 3}); err == nil {
+		t.Fatal("two-city input accepted")
+	}
+}
+
+func TestProvisionedWeightsMatchPaperTable1(t *testing.T) {
+	// Table I capacity column, pcb3038 (N=3038) in kB (8-bit weights):
+	// fixed-2: 48.6, fixed-4: 291.8, semiflex-2: 64.8, semiflex-3: 205.1,
+	// semiflex-4: 466.9.
+	n := 3038
+	cases := []struct {
+		s      Strategy
+		wantKB float64
+	}{
+		{Strategy{Kind: Fixed, P: 2}, 48.6},
+		{Strategy{Kind: Fixed, P: 4}, 291.8},
+		{Strategy{Kind: SemiFlex, P: 2}, 64.8},
+		{Strategy{Kind: SemiFlex, P: 3}, 205.1},
+		{Strategy{Kind: SemiFlex, P: 4}, 466.9},
+	}
+	for _, c := range cases {
+		gotKB := float64(ProvisionedBytes(n, c.s)) / 1000
+		if math.Abs(gotKB-c.wantKB)/c.wantKB > 0.01 {
+			t.Errorf("%v: %v kB, paper says %v kB", c.s, gotKB, c.wantKB)
+		}
+	}
+}
+
+func TestProvisionedWeightsRL5915(t *testing.T) {
+	// Table I, rl5915 column.
+	n := 5915
+	cases := []struct {
+		s      Strategy
+		wantKB float64
+	}{
+		{Strategy{Kind: Fixed, P: 2}, 94.7},
+		{Strategy{Kind: Fixed, P: 4}, 567.9},
+		{Strategy{Kind: SemiFlex, P: 2}, 126.2},
+		{Strategy{Kind: SemiFlex, P: 3}, 399.3},
+		{Strategy{Kind: SemiFlex, P: 4}, 908.5},
+	}
+	for _, c := range cases {
+		gotKB := float64(ProvisionedBytes(n, c.s)) / 1000
+		if math.Abs(gotKB-c.wantKB)/c.wantKB > 0.01 {
+			t.Errorf("%v: %v kB, paper says %v kB", c.s, gotKB, c.wantKB)
+		}
+	}
+}
+
+func TestProvisionedWeightsPla85900(t *testing.T) {
+	// The paper's headline: pla85900 with p_max=3 needs 46.4 Mb.
+	bits := 8 * ProvisionedWeights(85900, Strategy{Kind: SemiFlex, P: 3})
+	gotMb := float64(bits) / 1e6
+	if math.Abs(gotMb-46.4) > 0.3 {
+		t.Fatalf("pla85900 semiflex-3 = %v Mb, paper says 46.4 Mb", gotMb)
+	}
+}
+
+func TestArbitraryProvisioningIsZero(t *testing.T) {
+	if got := ProvisionedWeights(1000, Strategy{Kind: Arbitrary}); got != 0 {
+		t.Fatalf("arbitrary provisioning = %d, want 0", got)
+	}
+}
+
+func TestHierarchyLevelsShrinkGeometrically(t *testing.T) {
+	pts := cities(2000, tsplib.StyleUniform, 10)
+	h, err := Build(pts, Strategy{Kind: SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 1; li < h.NumLevels(); li++ {
+		ratio := float64(len(h.Levels[li])) / float64(len(h.Levels[li-1]))
+		if ratio > 0.75 {
+			t.Fatalf("level %d shrank only by %.2f", li, ratio)
+		}
+	}
+}
+
+func BenchmarkBuildSemiFlex3_10k(b *testing.B) {
+	pts := cities(10000, tsplib.StyleClustered, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, Strategy{Kind: SemiFlex, P: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cimsa/internal/tsplib"
+)
+
+// TestPropertyHierarchyPartitions checks, across random instance sizes,
+// styles and strategies, that every hierarchy level is an exact
+// partition of the cities and that Validate agrees.
+func TestPropertyHierarchyPartitions(t *testing.T) {
+	styles := []tsplib.Style{tsplib.StyleUniform, tsplib.StylePCB, tsplib.StyleClustered}
+	strategies := []Strategy{
+		{Kind: Arbitrary},
+		{Kind: Fixed, P: 2},
+		{Kind: Fixed, P: 3},
+		{Kind: SemiFlex, P: 2},
+		{Kind: SemiFlex, P: 3},
+		{Kind: SemiFlex, P: 4},
+	}
+	f := func(nRaw uint16, styleSel, stratSel, seed uint8) bool {
+		n := int(nRaw%800) + 12
+		in := tsplib.Generate("prop", n, styles[int(styleSel)%len(styles)], uint64(seed))
+		s := strategies[int(stratSel)%len(strategies)]
+		h, err := Build(in.Cities, s)
+		if err != nil {
+			return false
+		}
+		if err := h.Validate(); err != nil {
+			return false
+		}
+		// Walking down from the top must reach every city exactly once.
+		seen := make([]bool, n)
+		var walk func(node *Node) bool
+		walk = func(node *Node) bool {
+			if node.IsLeaf() {
+				if seen[node.City] {
+					return false
+				}
+				seen[node.City] = true
+				return true
+			}
+			for _, c := range node.Children {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, top := range h.Top() {
+			if !walk(top) {
+				return false
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLeafCountsConsistent checks Node.Leaves equals the real
+// subtree size at every level for random builds.
+func TestPropertyLeafCountsConsistent(t *testing.T) {
+	f := func(nRaw uint16, seed uint8) bool {
+		n := int(nRaw%500) + 20
+		in := tsplib.Generate("prop2", n, tsplib.StyleClustered, uint64(seed))
+		h, err := Build(in.Cities, Strategy{Kind: SemiFlex, P: 3})
+		if err != nil {
+			return false
+		}
+		var count func(node *Node) int
+		count = func(node *Node) int {
+			if node.IsLeaf() {
+				return 1
+			}
+			total := 0
+			for _, c := range node.Children {
+				total += count(c)
+			}
+			return total
+		}
+		for _, level := range h.Levels {
+			for _, node := range level {
+				if count(node) != node.Leaves {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

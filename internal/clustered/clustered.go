@@ -1,0 +1,577 @@
+// Package clustered implements the paper's annealer: hierarchical
+// clustering solves input sparsity, compact CIM weight windows solve
+// weight sparsity, non-adjacent clusters update in parallel (chromatic
+// Gibbs), and the randomness that drives annealing comes from noisy
+// SRAM weight bits under the (V_DD, #LSB) schedule.
+//
+// The solver proceeds top-down (Fig. 4): the order of the few top-level
+// super-clusters is solved exactly, then every level below anneals the
+// order of each cluster's children given the frozen neighbouring
+// clusters, until the leaf level yields the city tour.
+package clustered
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cimsa/internal/cim"
+	"cimsa/internal/cluster"
+	"cimsa/internal/geom"
+	"cimsa/internal/heuristics"
+	"cimsa/internal/noise"
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// Mode selects the annealer's randomness source.
+type Mode int
+
+const (
+	// ModeNoisyCIM is the paper's design: greedy accept on energies
+	// computed from noisy SRAM weights. The noise level is set by the
+	// (V_DD, #LSB) schedule and decays to zero, annealing the system.
+	ModeNoisyCIM Mode = iota
+	// ModeMetropolis is the classical software baseline: clean weights,
+	// temperature-driven Metropolis acceptance.
+	ModeMetropolis
+	// ModeGreedy is the no-noise ablation: clean weights, accept only
+	// strict improvements. Converges fast but cannot escape local minima.
+	ModeGreedy
+	// ModeNoisySpins is the ablation of [4]'s approach: the noise is
+	// applied to the spin inputs instead of the weights. Because the
+	// error pattern is spatial and the same spins are read every cycle,
+	// the trajectory is deterministic and annealing degrades.
+	ModeNoisySpins
+)
+
+// ParseMode converts a mode name ("noisy-cim", "metropolis", "greedy",
+// "noisy-spins") back to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModeNoisyCIM, ModeMetropolis, ModeGreedy, ModeNoisySpins} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("clustered: unknown mode %q", s)
+}
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNoisyCIM:
+		return "noisy-cim"
+	case ModeMetropolis:
+		return "metropolis"
+	case ModeGreedy:
+		return "greedy"
+	case ModeNoisySpins:
+		return "noisy-spins"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a solve.
+type Options struct {
+	// Strategy is the clustering policy; defaults to SemiFlex p=3 (the
+	// paper's best PPA/quality trade-off).
+	Strategy cluster.Strategy
+	// Schedule is the noise/iteration schedule; defaults to the paper's
+	// 400-iteration, 300→580 mV schedule.
+	Schedule noise.Schedule
+	// Fabric is the noisy SRAM fabric; defaults to a fabric seeded from
+	// Seed over the committed 16 nm error model.
+	Fabric *noise.Fabric
+	// Mode selects the randomness source; defaults to ModeNoisyCIM.
+	Mode Mode
+	// Seed drives swap proposals (and the fabric if none is given).
+	Seed uint64
+	// RecordTrace captures the level objective (sum of intra-cluster
+	// paths and inter-cluster link edges, in centroid-distance units)
+	// after every iteration of every annealed level.
+	RecordTrace bool
+	// Parallel updates the clusters of each chromatic phase across
+	// goroutines, mirroring the hardware's all-windows-at-once update.
+	// Results are bit-identical to the sequential mode: proposals and
+	// accept randomness are derived from (seed, level, iteration,
+	// cluster) counters, not from a shared stream.
+	Parallel bool
+	// WeightBits truncates stored weights to this many significant bits
+	// (1-8); 0 or 8 keeps full precision. Precision ablation for the
+	// paper's 8-bit design choice.
+	WeightBits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == (cluster.Strategy{}) {
+		o.Strategy = cluster.Strategy{Kind: cluster.SemiFlex, P: 3}
+	}
+	if o.Schedule == (noise.Schedule{}) {
+		o.Schedule = noise.PaperSchedule()
+	}
+	if o.Fabric == nil {
+		o.Fabric = noise.NewFabric(o.Seed ^ 0xfab)
+	}
+	return o
+}
+
+// Stats reports what the solve did, in units the PPA model consumes.
+type Stats struct {
+	// Levels is the number of annealed levels (hierarchy levels minus
+	// the directly solved top).
+	Levels int
+	// BottomWindows is the cluster count at the leaf level: the number
+	// of weight windows the hardware must provision.
+	BottomWindows int
+	// Iterations is the total update iterations summed over levels.
+	Iterations int
+	// Proposed and Accepted count swap trials.
+	Proposed, Accepted int
+	// WriteBacks counts weight write-back epochs summed over windows.
+	WriteBacks int
+	// Cycles is the modelled hardware cycle count: iterations per level
+	// × cycles per iteration (all clusters of a phase update in
+	// parallel, so cluster count does not appear).
+	Cycles int64
+	// WeightWrites counts 8-bit weight writes (window loads plus
+	// write-back refreshes) for the energy model.
+	WeightWrites int64
+	// BoundaryTransferBits counts the bits crossing inter-array links
+	// over the whole solve (Fig. 5e: p one-hot bits per boundary fetch
+	// whenever a cluster's neighbour lives in a different array).
+	BoundaryTransferBits int64
+}
+
+// Result is a finished solve.
+type Result struct {
+	Tour   tour.Tour
+	Length float64
+	Stats  Stats
+	// LevelTraces, when requested, holds one objective-vs-iteration
+	// series per annealed level, top level first.
+	LevelTraces [][]float64
+}
+
+// Solve runs the clustered annealer on the instance.
+func Solve(in *tsplib.Instance, opt Options) (Result, error) {
+	o := opt.withDefaults()
+	if err := o.Schedule.Validate(); err != nil {
+		return Result{}, err
+	}
+	h, err := cluster.Build(in.Cities, o.Strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	var stats Stats
+	stats.BottomWindows = len(h.Levels[1])
+
+	// Solve the top level directly: it has at most TopThreshold elements.
+	top := h.Top()
+	order, err := solveTop(top, in.Metric)
+	if err != nil {
+		return Result{}, err
+	}
+	nodes := permuteNodes(top, order)
+
+	// Anneal each level below the top.
+	var traces [][]float64
+	for li := h.NumLevels() - 1; li >= 1; li-- {
+		var trace []float64
+		nodes, trace = annealLevel(nodes, li, o, &stats)
+		if o.RecordTrace {
+			traces = append(traces, trace)
+		}
+	}
+
+	// nodes is now the ordered leaf level.
+	t := make(tour.Tour, len(nodes))
+	for i, n := range nodes {
+		if !n.IsLeaf() {
+			return Result{}, fmt.Errorf("clustered: expansion ended on non-leaf nodes")
+		}
+		t[i] = n.City
+	}
+	if err := t.Validate(in.N()); err != nil {
+		return Result{}, fmt.Errorf("clustered: produced invalid tour: %w", err)
+	}
+	return Result{Tour: t, Length: t.Length(in), Stats: stats, LevelTraces: traces}, nil
+}
+
+// solveTop orders the top-level nodes by their centroids with the exact
+// solver (the level is at most TopThreshold nodes by construction).
+func solveTop(nodes []*cluster.Node, metric geom.Metric) ([]int, error) {
+	if len(nodes) < 3 {
+		idx := make([]int, len(nodes))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	pts := make([]geom.Point, len(nodes))
+	for i, n := range nodes {
+		pts[i] = n.Centroid
+	}
+	sub := &tsplib.Instance{Name: "top", Metric: geom.Exact, Cities: pts}
+	t, _, err := heuristics.Exact(sub)
+	if err != nil {
+		return nil, fmt.Errorf("clustered: top level: %w", err)
+	}
+	return t, nil
+}
+
+func permuteNodes(nodes []*cluster.Node, order []int) []*cluster.Node {
+	out := make([]*cluster.Node, len(order))
+	for i, oi := range order {
+		out[i] = nodes[oi]
+	}
+	return out
+}
+
+// levelState holds the annealing state of one hierarchy level: the
+// cyclic sequence of clusters, each with a mutable child order.
+type levelState struct {
+	clusters []*clusterState
+}
+
+type clusterState struct {
+	node   *cluster.Node
+	window *cim.Window
+	// order[slot] = child index within node.Children.
+	order []int
+	// scratch buffers reused across proposals.
+	rowsBuf []int
+}
+
+// firstElem/lastElem return the child index currently at the cluster's
+// tour-facing edges.
+func (c *clusterState) firstElem() int { return c.order[0] }
+func (c *clusterState) lastElem() int  { return c.order[len(c.order)-1] }
+
+// annealLevel orders the children of each node and returns the expanded
+// child sequence plus (when requested) the objective trace.
+func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats) ([]*cluster.Node, []float64) {
+	nc := len(nodes)
+	state := &levelState{clusters: make([]*clusterState, nc)}
+	for ci, n := range nodes {
+		p := len(n.Children)
+		cs := &clusterState{node: n, order: make([]int, p), rowsBuf: make([]int, 0, p+2)}
+		for i := range cs.order {
+			cs.order[i] = i
+		}
+		state.clusters[ci] = cs
+	}
+	// Build the weight windows against the initial neighbour geometry.
+	for ci, cs := range state.clusters {
+		prev := state.clusters[(ci-1+nc)%nc]
+		next := state.clusters[(ci+1)%nc]
+		w, err := cim.NewWindow(ci, centroidCross(cs.node, cs.node),
+			centroidCross(prev.node, cs.node), centroidCross(next.node, cs.node))
+		if err != nil {
+			// Windows are built from validated clusters; failure is a bug.
+			panic(fmt.Sprintf("clustered: window build: %v", err))
+		}
+		if o.WeightBits > 0 {
+			w.MaskWeights(o.WeightBits)
+		}
+		cs.window = w
+		stats.WeightWrites += int64(w.Rows() * w.Cols())
+	}
+
+	phases := chromaticPhases(nc)
+	iters := o.Schedule.TotalIters()
+	temp := metropolisTemp(state)
+	// Inter-array boundary traffic is a static property of the window
+	// layout (Fig. 5e): each cluster whose neighbour lives in another
+	// array pulls p one-hot bits over the link every iteration.
+	transfersPerIter := int64(0)
+	for ci := range state.clusters {
+		p := o.Strategy.MaxElements()
+		prev := (ci - 1 + nc) % nc
+		next := (ci + 1) % nc
+		if cim.ArrayOf(prev) != cim.ArrayOf(ci) {
+			transfersPerIter += int64(cim.BoundaryTransferBits(p))
+		}
+		if cim.ArrayOf(next) != cim.ArrayOf(ci) {
+			transfersPerIter += int64(cim.BoundaryTransferBits(p))
+		}
+	}
+	var trace []float64
+	for iter := 0; iter < iters; iter++ {
+		if iter%o.Schedule.EpochIters == 0 {
+			vdd, nLSB := o.Schedule.At(iter)
+			refreshWindows(state, o, vdd, nLSB, stats)
+		}
+		vdd, _ := o.Schedule.At(iter)
+		tFrac := 1 - float64(iter)/float64(iters)
+		for _, phase := range phases {
+			if o.Parallel {
+				runPhaseParallel(state, phase, level, iter, o, vdd, temp*tFrac, stats)
+			} else {
+				for _, ci := range phase {
+					prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp*tFrac)
+					stats.Proposed += prop
+					stats.Accepted += acc
+				}
+			}
+		}
+		stats.Cycles += int64(cim.CyclesPerIteration)
+		stats.BoundaryTransferBits += transfersPerIter
+		if o.RecordTrace {
+			trace = append(trace, levelObjective(state))
+		}
+	}
+	stats.Levels++
+	stats.Iterations += iters
+
+	// Expand: children in final order, clusters in cycle order.
+	var out []*cluster.Node
+	for _, cs := range state.clusters {
+		for _, childIdx := range cs.order {
+			out = append(out, cs.node.Children[childIdx])
+		}
+	}
+	return out, trace
+}
+
+// levelObjective evaluates the level's true (unquantized, noise-free)
+// objective: the closed path over all children in their current order,
+// measured between centroids.
+func levelObjective(state *levelState) float64 {
+	var pts []geom.Point
+	for _, cs := range state.clusters {
+		for _, childIdx := range cs.order {
+			pts = append(pts, cs.node.Children[childIdx].Centroid)
+		}
+	}
+	var sum float64
+	for i := range pts {
+		sum += geom.Exact.Dist(pts[i], pts[(i+1)%len(pts)])
+	}
+	return sum
+}
+
+// refreshWindows performs the write-back + pseudo-read epoch.
+func refreshWindows(state *levelState, o Options, vdd float64, nLSB int, stats *Stats) {
+	for _, cs := range state.clusters {
+		switch o.Mode {
+		case ModeNoisyCIM:
+			cs.window.WriteBack(o.Fabric, vdd, nLSB)
+		default:
+			// Clean weights for every other mode; the spin-noise ablation
+			// corrupts inputs at proposal time instead.
+			cs.window.WriteBack(o.Fabric, 0.8, 0)
+		}
+		stats.WriteBacks++
+		stats.WeightWrites += int64(cs.window.Rows() * cs.window.Cols())
+	}
+}
+
+// metropolisTemp picks the classical-mode starting temperature: the mean
+// nonzero quantization full-scale across windows is a robust proxy for
+// the local edge length scale.
+func metropolisTemp(state *levelState) float64 {
+	var sum float64
+	var count int
+	for _, cs := range state.clusters {
+		if cs.window.Quant.Scale > 0 {
+			sum += cs.window.Quant.Scale * 255
+			count++
+		}
+	}
+	if count == 0 {
+		return 1
+	}
+	return sum / float64(count) / 4
+}
+
+// proposalFor derives the swap proposal and the acceptance uniform for
+// one (level, iteration, cluster) from the seed with a SplitMix-style
+// hash. Counter-based derivation makes every cluster's randomness
+// independent of execution order, so parallel and sequential runs are
+// bit-identical.
+func proposalFor(seed uint64, level, iter, ci, p int) (i, j int, u float64) {
+	h := counterHash(seed, uint64(level), uint64(iter), uint64(ci), 0)
+	i = int(h % uint64(p))
+	j = int((h >> 24) % uint64(p))
+	h2 := counterHash(seed, uint64(level), uint64(iter), uint64(ci), 1)
+	u = float64(h2>>11) / (1 << 53)
+	return
+}
+
+// counterHash mixes the counters through the SplitMix64 finalizer.
+func counterHash(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+	}
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// updateCluster proposes and (maybe) applies one swap for cluster ci.
+// Returns proposal/acceptance counts (0 or 1 each).
+func updateCluster(state *levelState, ci, level, iter int, o Options, vdd, temp float64) (proposed, accepted int) {
+	cs := state.clusters[ci]
+	p := len(cs.order)
+	if p < 2 {
+		return 0, 0
+	}
+	i, j, u := proposalFor(o.Seed, level, iter, ci, p)
+	if i == j {
+		return 0, 0
+	}
+	if proposeSwap(state, ci, i, j, o, u, vdd, temp) {
+		cs.order[i], cs.order[j] = cs.order[j], cs.order[i]
+		return 1, 1
+	}
+	return 1, 0
+}
+
+// runPhaseParallel updates all clusters of one chromatic phase across
+// goroutines. Same-phase clusters are mutually non-adjacent, so each
+// writes only its own order and reads only frozen neighbours.
+func runPhaseParallel(state *levelState, phase []int, level, iter int, o Options, vdd, temp float64, stats *Stats) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(phase) {
+		workers = len(phase)
+	}
+	if workers < 2 {
+		for _, ci := range phase {
+			prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp)
+			stats.Proposed += prop
+			stats.Accepted += acc
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	props := make([]int, workers)
+	accs := make([]int, workers)
+	chunk := (len(phase) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(phase) {
+			hi = len(phase)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, ci := range phase[lo:hi] {
+				prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp)
+				props[w] += prop
+				accs[w] += acc
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		stats.Proposed += props[w]
+		stats.Accepted += accs[w]
+	}
+}
+
+// proposeSwap evaluates one swap through the CIM path and decides
+// acceptance per the mode using the pre-drawn uniform u. It does not
+// apply the swap.
+func proposeSwap(state *levelState, ci, i, j int, o Options, u, vdd, temp float64) bool {
+	nc := len(state.clusters)
+	cs := state.clusters[ci]
+	prev := state.clusters[(ci-1+nc)%nc]
+	next := state.clusters[(ci+1)%nc]
+	in := cim.Inputs{Order: cs.order, PrevElem: prev.lastElem(), NextElem: next.firstElem()}
+	if o.Mode == ModeNoisySpins {
+		in = corruptInputs(in, o.Fabric, ci, vdd)
+	}
+	rows := cs.window.ActiveRows(in, cs.rowsBuf)
+	p := cs.window.P
+	// Row and column of spin (slot, elem) share the slot*p+elem layout.
+	col := func(slot, elem int) int { return slot*p + elem }
+	k, l := in.Order[i], in.Order[j]
+	// Four MACs (Fig. 5a): before-swap energies for (i,k) and (j,l)...
+	before := cs.window.ColumnSum(rows, col(i, k)) + cs.window.ColumnSum(rows, col(j, l))
+	// ...then after-swap energies for (i,l) and (j,k): the active rows of
+	// slots i and j exchange elements (ActiveRows lists slot rows in slot
+	// order, so rows[i] is slot i's row).
+	rows[i], rows[j] = col(i, l), col(j, k)
+	after := cs.window.ColumnSum(rows, col(i, l)) + cs.window.ColumnSum(rows, col(j, k))
+	rows[i], rows[j] = col(i, k), col(j, l)
+	delta := after - before
+	switch o.Mode {
+	case ModeNoisyCIM, ModeNoisySpins, ModeGreedy:
+		return delta < 0
+	case ModeMetropolis:
+		if delta < 0 {
+			return true
+		}
+		if temp <= 0 {
+			return false
+		}
+		deltaDist := float64(delta) * cs.window.Quant.Scale
+		return u < math.Exp(-deltaDist/temp)
+	default:
+		panic("clustered: unknown mode")
+	}
+}
+
+// corruptInputs applies the spatial spin-noise ablation: each one-hot
+// input bit is read through the fabric with a cell ID derived from the
+// cluster and slot, so the same spins see the same (fixed) errors every
+// cycle — reproducing [4]'s deterministic-trace failure mode.
+func corruptInputs(in cim.Inputs, f *noise.Fabric, ci int, vdd float64) cim.Inputs {
+	out := cim.Inputs{Order: append([]int(nil), in.Order...), PrevElem: in.PrevElem, NextElem: in.NextElem}
+	p := len(out.Order)
+	for slot := 0; slot < p; slot++ {
+		id := noise.CellID(1<<20+ci, slot, 0, 0)
+		if f.ReadBit(id, 0, vdd) != 0 {
+			// The spin register bit misreads: the slot appears to hold a
+			// different (spatially fixed) element.
+			out.Order[slot] = int(id>>3) % p
+		}
+	}
+	return out
+}
+
+// chromaticPhases partitions cluster indices into phases of mutually
+// non-adjacent clusters in the cycle: odd, then even, with a third phase
+// for the final cluster when the count is odd (it would otherwise be
+// adjacent to cluster 0 in the even phase).
+func chromaticPhases(nc int) [][]int {
+	var odd, even, extra []int
+	for ci := 0; ci < nc; ci++ {
+		switch {
+		case nc%2 == 1 && ci == nc-1:
+			extra = append(extra, ci)
+		case ci%2 == 1:
+			odd = append(odd, ci)
+		default:
+			even = append(even, ci)
+		}
+	}
+	phases := [][]int{odd, even}
+	if len(extra) > 0 {
+		phases = append(phases, extra)
+	}
+	return phases
+}
+
+// centroidCross returns centroid distances from nb's children (rows) to
+// own's children (cols); nb == own gives the intra block.
+func centroidCross(nb, own *cluster.Node) [][]float64 {
+	out := make([][]float64, len(nb.Children))
+	for m, cm := range nb.Children {
+		row := make([]float64, len(own.Children))
+		for k, ck := range own.Children {
+			row[k] = geom.Exact.Dist(cm.Centroid, ck.Centroid)
+		}
+		out[m] = row
+	}
+	return out
+}

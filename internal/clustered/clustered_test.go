@@ -1,0 +1,454 @@
+package clustered
+
+import (
+	"testing"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/heuristics"
+	"cimsa/internal/noise"
+	"cimsa/internal/tsplib"
+)
+
+func solveOpts(mode Mode, seed uint64) Options {
+	return Options{
+		Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+		Schedule: noise.PaperSchedule(),
+		Mode:     mode,
+		Seed:     seed,
+	}
+}
+
+func TestSolveProducesValidTour(t *testing.T) {
+	in := tsplib.Generate("cl-solve", 300, tsplib.StyleUniform, 1)
+	res, err := Solve(in, solveOpts(ModeNoisyCIM, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Tour.Validate(in.N()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Length != res.Tour.Length(in) {
+		t.Fatalf("reported length %v, tour measures %v", res.Length, res.Tour.Length(in))
+	}
+}
+
+func TestSolveAllStrategies(t *testing.T) {
+	in := tsplib.Generate("cl-strat", 200, tsplib.StyleClustered, 2)
+	for _, s := range []cluster.Strategy{
+		{Kind: cluster.Arbitrary},
+		{Kind: cluster.Fixed, P: 2},
+		{Kind: cluster.Fixed, P: 4},
+		{Kind: cluster.SemiFlex, P: 2},
+		{Kind: cluster.SemiFlex, P: 4},
+	} {
+		opt := solveOpts(ModeNoisyCIM, 3)
+		opt.Strategy = s
+		res, err := Solve(in, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := res.Tour.Validate(in.N()); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+}
+
+func TestSolveAllModes(t *testing.T) {
+	in := tsplib.Generate("cl-modes", 150, tsplib.StylePCB, 4)
+	for _, m := range []Mode{ModeNoisyCIM, ModeMetropolis, ModeGreedy, ModeNoisySpins} {
+		res, err := Solve(in, solveOpts(m, 5))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := res.Tour.Validate(in.N()); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+}
+
+func TestSolveQualityVsReference(t *testing.T) {
+	// The headline algorithm result: the clustered annealer lands within
+	// ~50% of the classical reference (the paper reports <25% over the
+	// optimal tour for its largest configs; our reference is itself a
+	// heuristic, so the bar here is deliberately loose but meaningful).
+	in := tsplib.Generate("cl-quality", 600, tsplib.StyleUniform, 6)
+	_, ref := heuristics.Reference(in)
+	res, err := Solve(in, solveOpts(ModeNoisyCIM, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Length / ref
+	if ratio > 1.6 {
+		t.Fatalf("optimal ratio %v too poor", ratio)
+	}
+	if ratio < 0.95 {
+		t.Fatalf("ratio %v suspiciously good — reference may be broken", ratio)
+	}
+}
+
+func TestNoiseHelpsOverGreedy(t *testing.T) {
+	// The core annealing claim: noisy weights escape local minima that
+	// pure greedy cannot. Averaged over instances, noisy-CIM must be at
+	// least as good as greedy.
+	var noisy, greedy float64
+	for seed := uint64(0); seed < 4; seed++ {
+		in := tsplib.Generate("cl-noise-help", 300, tsplib.StyleClustered, 10+seed)
+		rn, err := Solve(in, solveOpts(ModeNoisyCIM, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := Solve(in, solveOpts(ModeGreedy, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		noisy += rn.Length
+		greedy += rg.Length
+	}
+	if noisy > greedy*1.02 {
+		t.Fatalf("noisy annealing (%v) worse than greedy (%v)", noisy, greedy)
+	}
+}
+
+func TestNoisySpinsDeterministicTrace(t *testing.T) {
+	// The [4] ablation: spatial spin noise yields the same trajectory on
+	// every attempt (different proposal seeds do not matter because the
+	// accept rule is deterministic given the same proposals; here we
+	// check the stronger paper claim — same seed, same fixed errors,
+	// identical outcome — and that weight noise differs across chips).
+	in := tsplib.Generate("cl-spins", 200, tsplib.StyleUniform, 8)
+	a, err := Solve(in, solveOpts(ModeNoisySpins, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, solveOpts(ModeNoisySpins, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Length != b.Length {
+		t.Fatalf("noisy-spins trace not deterministic: %v vs %v", a.Length, b.Length)
+	}
+	// Different chips (fabrics) give the weight-noise design different
+	// outcomes: entropy comes from the fabric, not the proposal stream.
+	optA := solveOpts(ModeNoisyCIM, 11)
+	optA.Fabric = noise.NewFabric(100)
+	optB := solveOpts(ModeNoisyCIM, 11)
+	optB.Fabric = noise.NewFabric(200)
+	ra, err := Solve(in, optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Solve(in, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Length == rb.Length && ra.Tour.Length(in) == rb.Tour.Length(in) {
+		// Identical lengths are possible but identical tours are a red
+		// flag; compare canonical forms.
+		same := true
+		ca, cb := ra.Tour.Canonical(), rb.Tour.Canonical()
+		for i := range ca {
+			if ca[i] != cb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different fabrics produced identical tours")
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	in := tsplib.Generate("cl-det", 250, tsplib.StyleGeographic, 12)
+	a, err := Solve(in, solveOpts(ModeNoisyCIM, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, solveOpts(ModeNoisyCIM, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Length != b.Length || a.Stats != b.Stats {
+		t.Fatalf("solves differ: %v vs %v", a.Length, b.Length)
+	}
+}
+
+func TestStatsPlausible(t *testing.T) {
+	in := tsplib.Generate("cl-stats", 400, tsplib.StyleUniform, 14)
+	res, err := Solve(in, solveOpts(ModeNoisyCIM, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Levels < 2 {
+		t.Fatalf("only %d levels annealed for 400 cities", st.Levels)
+	}
+	if st.Iterations != st.Levels*400 {
+		t.Fatalf("iterations %d != levels %d * 400", st.Iterations, st.Levels)
+	}
+	if st.Proposed == 0 || st.Accepted == 0 {
+		t.Fatal("no swap activity recorded")
+	}
+	if st.Accepted > st.Proposed {
+		t.Fatal("accepted more swaps than proposed")
+	}
+	if st.BottomWindows == 0 {
+		t.Fatal("no bottom windows recorded")
+	}
+	// The paper's provisioning: 2N/(1+p) clusters for semiflex.
+	expect := 2 * in.N() / 4
+	if st.BottomWindows > expect*13/10 || st.BottomWindows < expect*6/10 {
+		t.Fatalf("bottom windows %d far from provisioning estimate %d", st.BottomWindows, expect)
+	}
+	if st.Cycles != int64(st.Iterations)*10 {
+		t.Fatalf("cycle model inconsistent: %d cycles for %d iterations", st.Cycles, st.Iterations)
+	}
+	if st.WriteBacks == 0 || st.WeightWrites == 0 {
+		t.Fatal("write-back accounting missing")
+	}
+}
+
+func TestChromaticPhasesNoAdjacentConflicts(t *testing.T) {
+	for _, nc := range []int{2, 3, 4, 5, 8, 9, 17} {
+		phases := chromaticPhases(nc)
+		seen := make([]bool, nc)
+		for _, phase := range phases {
+			inPhase := make([]bool, nc)
+			for _, ci := range phase {
+				if seen[ci] {
+					t.Fatalf("nc=%d: cluster %d in two phases", nc, ci)
+				}
+				seen[ci] = true
+				inPhase[ci] = true
+			}
+			for _, ci := range phase {
+				left := (ci - 1 + nc) % nc
+				right := (ci + 1) % nc
+				if nc > 2 && (inPhase[left] || inPhase[right]) {
+					t.Fatalf("nc=%d: cluster %d updates alongside a neighbour", nc, ci)
+				}
+			}
+		}
+		for ci, ok := range seen {
+			if !ok {
+				t.Fatalf("nc=%d: cluster %d never updates", nc, ci)
+			}
+		}
+	}
+}
+
+func TestSmallInstances(t *testing.T) {
+	// Down to the smallest registry sizes the solver must still work.
+	for _, n := range []int{12, 25, 52} {
+		in := tsplib.Generate("cl-small", n, tsplib.StyleUniform, uint64(n))
+		res, err := Solve(in, solveOpts(ModeNoisyCIM, uint64(n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := res.Tour.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	in := tsplib.Generate("cl-trace", 200, tsplib.StyleUniform, 21)
+	opt := solveOpts(ModeNoisyCIM, 22)
+	opt.RecordTrace = true
+	res, err := Solve(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LevelTraces) != res.Stats.Levels {
+		t.Fatalf("%d traces for %d levels", len(res.LevelTraces), res.Stats.Levels)
+	}
+	for li, trace := range res.LevelTraces {
+		if len(trace) != 400 {
+			t.Fatalf("level %d trace has %d points", li, len(trace))
+		}
+		// The objective must not get dramatically worse over a level; the
+		// annealed end should be at or below the start (noise can wiggle,
+		// so allow 2%).
+		if trace[len(trace)-1] > trace[0]*1.02 {
+			t.Errorf("level %d objective rose: %v -> %v", li, trace[0], trace[len(trace)-1])
+		}
+		for _, v := range trace {
+			if v <= 0 {
+				t.Fatalf("non-positive objective in trace")
+			}
+		}
+	}
+	// No traces unless requested.
+	res2, err := Solve(in, solveOpts(ModeNoisyCIM, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.LevelTraces != nil {
+		t.Fatal("traces recorded without RecordTrace")
+	}
+}
+
+func TestBadScheduleRejected(t *testing.T) {
+	in := tsplib.Generate("cl-bad", 50, tsplib.StyleUniform, 1)
+	opt := solveOpts(ModeNoisyCIM, 1)
+	opt.Schedule = noise.Schedule{VDDStart: -1, Epochs: 1, EpochIters: 1}
+	if _, err := Solve(in, opt); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func BenchmarkSolve1k(b *testing.B) {
+	in := tsplib.Generate("cl-bench", 1000, tsplib.StyleUniform, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(in, solveOpts(ModeNoisyCIM, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The chromatic phases are data-race-free by construction and the
+	// proposal randomness is counter-derived, so parallel execution must
+	// produce the exact same tour.
+	in := tsplib.Generate("cl-par", 500, tsplib.StyleClustered, 31)
+	for _, mode := range []Mode{ModeNoisyCIM, ModeMetropolis} {
+		seq := solveOpts(mode, 32)
+		par := solveOpts(mode, 32)
+		par.Parallel = true
+		a, err := Solve(in, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(in, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Length != b.Length {
+			t.Fatalf("%v: sequential %v != parallel %v", mode, a.Length, b.Length)
+		}
+		if a.Stats.Accepted != b.Stats.Accepted || a.Stats.Proposed != b.Stats.Proposed {
+			t.Fatalf("%v: stats differ: %+v vs %+v", mode, a.Stats, b.Stats)
+		}
+		for i := range a.Tour {
+			if a.Tour[i] != b.Tour[i] {
+				t.Fatalf("%v: tours differ at %d", mode, i)
+			}
+		}
+	}
+}
+
+func TestProposalForProperties(t *testing.T) {
+	// Proposals must be in range and well spread.
+	counts := make(map[[2]int]int)
+	for iter := 0; iter < 3000; iter++ {
+		i, j, u := proposalFor(7, 2, iter, 5, 4)
+		if i < 0 || i >= 4 || j < 0 || j >= 4 {
+			t.Fatalf("proposal out of range: %d,%d", i, j)
+		}
+		if u < 0 || u >= 1 {
+			t.Fatalf("uniform out of range: %v", u)
+		}
+		counts[[2]int{i, j}]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("proposals cover %d/16 pairs", len(counts))
+	}
+	for pair, c := range counts {
+		if c < 3000/16/2 {
+			t.Fatalf("pair %v undersampled: %d", pair, c)
+		}
+	}
+	// Different clusters get different streams.
+	i1, j1, _ := proposalFor(7, 2, 10, 5, 4)
+	same := 0
+	for ci := 0; ci < 50; ci++ {
+		i2, j2, _ := proposalFor(7, 2, 10, ci, 4)
+		if i1 == i2 && j1 == j2 {
+			same++
+		}
+	}
+	if same > 20 {
+		t.Fatalf("proposal streams correlated across clusters: %d/50", same)
+	}
+}
+
+// TestGoldenLengths pins exact outputs for fixed seeds: any change to
+// the clustering, proposal derivation, quantization, noise fabric or
+// accept rule shows up here as a diff, not as a silent quality drift.
+// If a change is intentional, update the constants (and re-run the
+// full-scale experiments to refresh EXPERIMENTS.md).
+func TestGoldenLengths(t *testing.T) {
+	in := tsplib.Generate("cl-golden", 400, tsplib.StyleClustered, 99)
+	cases := []struct {
+		mode Mode
+		seed uint64
+	}{
+		{ModeNoisyCIM, 1},
+		{ModeNoisyCIM, 2},
+		{ModeGreedy, 1},
+		{ModeMetropolis, 1},
+	}
+	var got []float64
+	for _, c := range cases {
+		res, err := Solve(in, solveOpts(c.mode, c.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, res.Length)
+	}
+	want := goldenLengths
+	for i := range cases {
+		if got[i] != want[i] {
+			t.Errorf("case %d (%v seed %d): length %v, golden %v",
+				i, cases[i].mode, cases[i].seed, got[i], want[i])
+		}
+	}
+}
+
+// goldenLengths are the pinned outputs for TestGoldenLengths (noisy-cim
+// seed 1, noisy-cim seed 2, greedy seed 1, metropolis seed 1).
+var goldenLengths = []float64{1317, 1303, 1308, 1312}
+
+func TestBoundaryTransferAccounting(t *testing.T) {
+	in := tsplib.Generate("cl-xfer", 400, tsplib.StyleUniform, 51)
+	res, err := Solve(in, solveOpts(ModeNoisyCIM, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BoundaryTransferBits <= 0 {
+		t.Fatal("no boundary traffic recorded")
+	}
+	// Upper bound: every cluster fetches both neighbours across a link
+	// every iteration (p bits each). The real count must be far below
+	// (only ~2 of every 10 clusters sit at an array edge).
+	p := int64(3)
+	upper := int64(res.Stats.Iterations) * int64(res.Stats.BottomWindows) * 2 * p
+	if res.Stats.BoundaryTransferBits >= upper/2 {
+		t.Fatalf("boundary traffic %d implausibly high (upper bound %d)",
+			res.Stats.BoundaryTransferBits, upper)
+	}
+	// Deterministic: same solve, same traffic.
+	res2, err := Solve(in, solveOpts(ModeNoisyCIM, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.BoundaryTransferBits != res.Stats.BoundaryTransferBits {
+		t.Fatal("traffic accounting not deterministic")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{ModeNoisyCIM, ModeMetropolis, ModeGreedy, ModeNoisySpins} {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v", m.String(), got)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}

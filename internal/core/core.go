@@ -1,0 +1,186 @@
+// Package core wires the full system together: clustering, the noisy
+// CIM annealer, the classical reference solver and the hardware PPA
+// model, behind one Annealer type. This is the paper's complete
+// algorithm/hardware co-design as a library.
+package core
+
+import (
+	"fmt"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/heuristics"
+	"cimsa/internal/noise"
+	"cimsa/internal/ppa"
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// Config selects the design point.
+type Config struct {
+	// PMax is the maximum cluster size (2..4 in the paper's evaluation);
+	// 0 defaults to 3, the paper's best trade-off. Ignored when Strategy
+	// is set explicitly.
+	PMax int
+	// Strategy overrides the clustering policy (default: semi-flexible
+	// with PMax).
+	Strategy cluster.Strategy
+	// Schedule is the noise/iteration schedule (default: the paper's
+	// 400-iteration 300→580 mV schedule).
+	Schedule noise.Schedule
+	// Mode selects the randomness source (default: noisy CIM weights).
+	Mode clustered.Mode
+	// Seed drives proposals and the fabric.
+	Seed uint64
+	// Tech provides the PPA technology constants (default: 16 nm).
+	Tech ppa.Tech
+	// SkipHardwareReport disables the chip PPA evaluation.
+	SkipHardwareReport bool
+	// Parallel enables goroutine-parallel chromatic phase updates.
+	Parallel bool
+	// Restarts runs that many independent replicas (distinct proposal
+	// seeds and noise fabrics) and keeps the best tour — the software
+	// analogue of multi-replica annealer chips. 0 or 1 means one run.
+	Restarts int
+}
+
+// Annealer is a configured solver.
+type Annealer struct {
+	cfg  Config
+	pmax int
+}
+
+// New validates the configuration and returns an Annealer.
+func New(cfg Config) (*Annealer, error) {
+	pmax := cfg.PMax
+	if pmax == 0 {
+		pmax = 3
+	}
+	if pmax < 2 || pmax > 8 {
+		return nil, fmt.Errorf("core: PMax %d out of range", cfg.PMax)
+	}
+	if cfg.Strategy == (cluster.Strategy{}) {
+		cfg.Strategy = cluster.Strategy{Kind: cluster.SemiFlex, P: pmax}
+	}
+	if err := cfg.Strategy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Schedule == (noise.Schedule{}) {
+		cfg.Schedule = noise.PaperSchedule()
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tech == (ppa.Tech{}) {
+		cfg.Tech = ppa.Tech16nm()
+	}
+	return &Annealer{cfg: cfg, pmax: pmax}, nil
+}
+
+// Report is a complete solve outcome.
+type Report struct {
+	// Instance and N identify the workload.
+	Instance string
+	N        int
+	// Tour and Length are the solution.
+	Tour   tour.Tour
+	Length float64
+	// ReferenceLength is the classical reference tour length (0 when not
+	// computed); OptimalRatio = Length / ReferenceLength.
+	ReferenceLength float64
+	OptimalRatio    float64
+	// Solver carries the annealing statistics.
+	Solver clustered.Stats
+	// Chip carries the hardware PPA evaluation (zero value when
+	// SkipHardwareReport is set or the strategy is not semi-flexible).
+	Chip ppa.ChipReport
+}
+
+// Solve runs the annealer on the instance.
+func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	restarts := a.cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var res clustered.Result
+	for rep := 0; rep < restarts; rep++ {
+		seed := a.cfg.Seed + uint64(rep)
+		opts := clustered.Options{
+			Strategy: a.cfg.Strategy,
+			Schedule: a.cfg.Schedule,
+			Mode:     a.cfg.Mode,
+			Seed:     seed,
+			Parallel: a.cfg.Parallel,
+		}
+		if rep > 0 {
+			// Each replica is a distinct chip: new fabric, new errors.
+			opts.Fabric = noise.NewFabric(seed ^ 0xfab)
+		}
+		cur, err := clustered.Solve(in, opts)
+		if err != nil {
+			return nil, err
+		}
+		if rep == 0 || cur.Length < res.Length {
+			keepStats := res.Stats
+			res = cur
+			if rep > 0 {
+				// Accumulate work across replicas; the tour is the best.
+				res.Stats.Proposed += keepStats.Proposed
+				res.Stats.Accepted += keepStats.Accepted
+				res.Stats.Cycles += keepStats.Cycles
+			}
+		} else {
+			res.Stats.Proposed += cur.Stats.Proposed
+			res.Stats.Accepted += cur.Stats.Accepted
+			res.Stats.Cycles += cur.Stats.Cycles
+		}
+	}
+	rep := &Report{
+		Instance: in.Name,
+		N:        in.N(),
+		Tour:     res.Tour,
+		Length:   res.Length,
+		Solver:   res.Stats,
+	}
+	if !a.cfg.SkipHardwareReport && a.cfg.Strategy.Kind == cluster.SemiFlex {
+		prof := ppa.RunProfile{
+			Levels:             res.Stats.Levels,
+			IterationsPerLevel: a.cfg.Schedule.TotalIters(),
+			EpochIters:         a.cfg.Schedule.EpochIters,
+		}
+		chip, err := ppa.Chip(in.N(), a.cfg.Strategy.P, prof, a.cfg.Tech)
+		if err != nil {
+			return nil, fmt.Errorf("core: hardware report: %w", err)
+		}
+		rep.Chip = chip
+	}
+	return rep, nil
+}
+
+// SolveWithReference runs the annealer and the classical reference
+// solver, filling in the optimal ratio.
+func (a *Annealer) SolveWithReference(in *tsplib.Instance) (*Report, error) {
+	rep, err := a.Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	_, ref := heuristics.Reference(in)
+	rep.ReferenceLength = ref
+	if ref > 0 {
+		rep.OptimalRatio = rep.Length / ref
+	}
+	return rep, nil
+}
+
+// SolveName loads a registry instance by name and solves it with the
+// reference comparison.
+func (a *Annealer) SolveName(name string) (*Report, error) {
+	in, err := tsplib.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.SolveWithReference(in)
+}

@@ -1,0 +1,86 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorModel is a sigmoid fit of the Monte Carlo error-rate curve,
+//
+//	rate(V) = MaxRate / (1 + exp((V - V50)/Slope)),
+//
+// used by the annealer's noise fabric so that per-cell error sampling
+// does not need a butterfly-curve solve on every write-back epoch.
+type ErrorModel struct {
+	// MaxRate is the low-voltage plateau (≈ 0.5: half the cells store
+	// their preferred bit already).
+	MaxRate float64
+	// V50 is the supply voltage at half the plateau rate.
+	V50 float64
+	// Slope is the transition width in volts; smaller is sharper.
+	Slope float64
+}
+
+// Rate returns the pseudo-read error rate at supply vdd.
+func (m ErrorModel) Rate(vdd float64) float64 {
+	if m.Slope <= 0 {
+		if vdd < m.V50 {
+			return m.MaxRate
+		}
+		return 0
+	}
+	return m.MaxRate / (1 + math.Exp((vdd-m.V50)/m.Slope))
+}
+
+// FitSigmoid fits an ErrorModel to sampled (vdd, rate) points. The
+// plateau is taken from the lowest-voltage samples, V50 by monotone
+// interpolation, and the slope from the 25 %/75 % crossing distance.
+func FitSigmoid(vdds, rates []float64) (ErrorModel, error) {
+	if len(vdds) != len(rates) || len(vdds) < 4 {
+		return ErrorModel{}, fmt.Errorf("device: need >= 4 matched samples, got %d/%d", len(vdds), len(rates))
+	}
+	// Ensure ascending voltage order without mutating the caller.
+	for i := 1; i < len(vdds); i++ {
+		if vdds[i] <= vdds[i-1] {
+			return ErrorModel{}, fmt.Errorf("device: vdd samples must be strictly ascending")
+		}
+	}
+	maxRate := rates[0]
+	if rates[1] > maxRate {
+		maxRate = rates[1]
+	}
+	if maxRate <= 0 {
+		return ErrorModel{}, fmt.Errorf("device: error curve is identically zero")
+	}
+	crossing := func(level float64) float64 {
+		target := level * maxRate
+		for i := 1; i < len(rates); i++ {
+			if rates[i-1] >= target && rates[i] < target {
+				// Interpolate within [i-1, i].
+				t := 0.0
+				if rates[i-1] != rates[i] {
+					t = (rates[i-1] - target) / (rates[i-1] - rates[i])
+				}
+				return vdds[i-1] + t*(vdds[i]-vdds[i-1])
+			}
+		}
+		return vdds[len(vdds)-1]
+	}
+	v50 := crossing(0.5)
+	v25 := crossing(0.75) // rate falls through 75% before 25%
+	v75 := crossing(0.25)
+	// For a logistic, the 25-75% crossing span is 2*ln(3)*slope.
+	slope := (v75 - v25) / (2 * math.Log(3))
+	if slope <= 0 {
+		slope = 0.01
+	}
+	return ErrorModel{MaxRate: maxRate, V50: v50, Slope: slope}, nil
+}
+
+// DefaultErrorModel returns the sigmoid fitted to the Params16nm Monte
+// Carlo at the paper's 1000-sample setting. The values are committed
+// here so the annealer does not rerun the device Monte Carlo on every
+// solve; TestDefaultErrorModelMatchesMonteCarlo guards the constants.
+func DefaultErrorModel() ErrorModel {
+	return ErrorModel{MaxRate: 0.5, V50: 0.502, Slope: 0.018}
+}

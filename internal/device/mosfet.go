@@ -1,0 +1,111 @@
+// Package device models the noisy SRAM bit cell electrically. It stands
+// in for the paper's TSMC 16 nm PDK Monte Carlo SPICE simulations
+// (Fig. 6): an all-region MOSFET current model drives inverter voltage
+// transfer curves, cross-coupled VTCs give the butterfly curve, the read
+// static noise margin (SNM) is extracted with the maximum-square method,
+// and threshold-voltage mismatch sampled per cell yields the pseudo-read
+// error rate versus supply voltage.
+//
+// The model is deliberately compact — a long-channel EKV-style
+// interpolation rather than BSIM — but it reproduces the behaviours the
+// annealer depends on: a sigmoidal error-rate curve from ~0 % at nominal
+// V_DD to ~50 % at deeply scaled V_DD, spatially fixed per-cell flip
+// polarity, and a sharper transition for larger bit-line capacitance.
+package device
+
+import "math"
+
+// ThermalVoltage is kT/q at 300 K, in volts.
+const ThermalVoltage = 0.02585
+
+// Transistor is an all-region long-channel MOSFET: EKV interpolation
+// between subthreshold exponential and square-law strong inversion.
+type Transistor struct {
+	// Vth is the threshold voltage in volts (positive for both N and P;
+	// polarity is handled by the caller's terminal mapping).
+	Vth float64
+	// K is the transconductance factor (A/V²), already including W/L.
+	K float64
+	// N is the subthreshold slope factor (typically 1.2-1.5).
+	N float64
+}
+
+// Ids returns the drain current for gate-source voltage vgs and
+// drain-source voltage vds (both >= 0 for the normal operating
+// quadrant). The EKV interpolation
+//
+//	I = 2 n K vT² [ ln²(1+e^((vgs-vth)/(2n vT))) - ln²(1+e^((vgs-vth-vds)/(2n vT))) ]
+//
+// is continuous across weak and strong inversion and saturates smoothly,
+// which matters here because the pseudo-read sweeps V_DD below Vth.
+func (t Transistor) Ids(vgs, vds float64) float64 {
+	if vds <= 0 {
+		return 0
+	}
+	nvt := t.N * ThermalVoltage
+	fwd := softLog((vgs - t.Vth) / (2 * nvt))
+	rev := softLog((vgs - t.Vth - vds) / (2 * nvt))
+	return 2 * t.N * t.K * ThermalVoltage * ThermalVoltage * (fwd*fwd - rev*rev)
+}
+
+// softLog is ln(1+exp(x)) computed without overflow.
+func softLog(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// Inverter is a static CMOS inverter built from an NMOS pulldown and a
+// PMOS pullup.
+type Inverter struct {
+	NMOS Transistor
+	PMOS Transistor
+}
+
+// Vout solves the inverter output voltage for input vin at supply vdd by
+// bisection on the current balance. The NMOS current rises and the PMOS
+// current falls monotonically in vout, so the crossing is unique.
+func (inv Inverter) Vout(vin, vdd float64) float64 {
+	f := func(vout float64) float64 {
+		in := inv.NMOS.Ids(vin, vout)
+		ip := inv.PMOS.Ids(vdd-vin, vdd-vout)
+		return in - ip
+	}
+	lo, hi := 0.0, vdd
+	if f(lo) > 0 {
+		return 0
+	}
+	if f(hi) < 0 {
+		return vdd
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// VTC samples the inverter voltage transfer curve at `points` evenly
+// spaced inputs in [0, vdd], optionally clamping the output low level at
+// readLift (the voltage divider formed with the access transistor during
+// a read, which degrades the stored-0 node). readLift = 0 reproduces the
+// hold VTC.
+func (inv Inverter) VTC(vdd, readLift float64, points int) (vins, vouts []float64) {
+	vins = make([]float64, points)
+	vouts = make([]float64, points)
+	for i := 0; i < points; i++ {
+		vin := vdd * float64(i) / float64(points-1)
+		vout := inv.Vout(vin, vdd)
+		if vout < readLift {
+			vout = readLift
+		}
+		vins[i] = vin
+		vouts[i] = vout
+	}
+	return
+}

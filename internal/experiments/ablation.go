@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/noise"
+)
+
+// AblationRow is one design-choice ablation outcome.
+type AblationRow struct {
+	Name         string
+	OptimalRatio float64
+}
+
+// AblationModes compares the randomness sources on one dataset: the
+// paper's noisy-weight CIM annealer, classical Metropolis, pure greedy
+// (no noise), and the noisy-spin design of [4] whose spatial errors
+// cannot anneal.
+func AblationModes(cfg Config) ([]AblationRow, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("pcb3038", c)
+	if err != nil {
+		return nil, err
+	}
+	strategy := cluster.Strategy{Kind: cluster.SemiFlex, P: 3}
+	var rows []AblationRow
+	for _, m := range []clustered.Mode{
+		clustered.ModeNoisyCIM, clustered.ModeMetropolis,
+		clustered.ModeGreedy, clustered.ModeNoisySpins,
+	} {
+		ratio, _, err := solveRatio(in, strategy, m, c.Seed+11)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: m.String(), OptimalRatio: ratio})
+	}
+	return rows, nil
+}
+
+// AblationSchedule compares the paper's annealed (V_DD, #LSB) schedule
+// against fixed-noise variants: constant high noise (no annealing) and
+// V_DD-only control (no LSB-count tapering).
+func AblationSchedule(cfg Config) ([]AblationRow, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("rl5915", c)
+	if err != nil {
+		return nil, err
+	}
+	strategy := cluster.Strategy{Kind: cluster.SemiFlex, P: 3}
+	schedules := []struct {
+		name string
+		s    noise.Schedule
+	}{
+		{"paper (vdd+lsb annealed)", noise.PaperSchedule()},
+		{"vdd-only (lsb fixed at 6)", noise.Schedule{VDDStart: 0.30, VDDStep: 0.04, Epochs: 8, EpochIters: 50, StartLSBs: 6, FixedLSBs: true}},
+		{"constant high noise", noise.Schedule{VDDStart: 0.30, VDDStep: 0, Epochs: 8, EpochIters: 50, StartLSBs: 6, FixedLSBs: true}},
+		{"no noise (greedy)", noise.NoNoise(400)},
+	}
+	var rows []AblationRow
+	for _, sc := range schedules {
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy: strategy,
+			Schedule: sc.s,
+			Seed:     c.Seed + 13,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := refRatio(in, res.Length)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: sc.name, OptimalRatio: ratio})
+	}
+	return rows, nil
+}
+
+// AblationParallelism quantifies the chromatic-parallel speedup: cycles
+// per iteration with odd/even parallel updates versus a sequential
+// annealer that must visit every cluster one at a time.
+type ParallelismRow struct {
+	Name               string
+	CyclesPerIteration float64
+}
+
+// AblationParallelism reports the modelled cycle cost of one update
+// iteration at the bottom level of pcb3038 for both scheduling styles.
+func AblationParallelism(cfg Config) ([]ParallelismRow, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("pcb3038", c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := clustered.Solve(in, clustered.Options{
+		Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+		Seed:     c.Seed + 17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	windows := float64(res.Stats.BottomWindows)
+	return []ParallelismRow{
+		{Name: "chromatic parallel (this work)", CyclesPerIteration: 10},
+		{Name: "sequential cluster updates", CyclesPerIteration: 5 * windows},
+	}, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+)
+
+// ConvergenceSeries is one mode's bottom-level objective trace.
+type ConvergenceSeries struct {
+	Mode  string
+	Trace []float64
+}
+
+// Convergence records the bottom-level (largest) annealing trace of each
+// randomness source on pcb3038: the system-energy-vs-time picture of
+// Fig. 2(b), realized on a full workload. The noisy-CIM trace should
+// fall as the schedule anneals; the greedy trace freezes early.
+func Convergence(cfg Config) ([]ConvergenceSeries, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("pcb3038", c)
+	if err != nil {
+		return nil, err
+	}
+	var out []ConvergenceSeries
+	for _, m := range []clustered.Mode{clustered.ModeNoisyCIM, clustered.ModeMetropolis, clustered.ModeGreedy} {
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy:    cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+			Mode:        m,
+			Seed:        c.Seed + 19,
+			RecordTrace: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(res.LevelTraces) == 0 {
+			return nil, fmt.Errorf("experiments: no traces recorded")
+		}
+		bottom := res.LevelTraces[len(res.LevelTraces)-1]
+		out = append(out, ConvergenceSeries{Mode: m.String(), Trace: bottom})
+	}
+	return out, nil
+}
+
+// RenderConvergence prints the traces at epoch checkpoints.
+func RenderConvergence(w io.Writer, series []ConvergenceSeries) {
+	fmt.Fprintf(w, "Convergence — bottom-level objective vs iteration (pcb3038)\n")
+	if len(series) == 0 {
+		return
+	}
+	n := len(series[0].Trace)
+	fmt.Fprintf(w, "%10s", "iteration")
+	for _, s := range series {
+		fmt.Fprintf(w, " %14s", s.Mode)
+	}
+	fmt.Fprintln(w)
+	step := n / 8
+	if step == 0 {
+		step = 1
+	}
+	for it := 0; it < n; it += step {
+		fmt.Fprintf(w, "%10d", it+1)
+		for _, s := range series {
+			fmt.Fprintf(w, " %14.0f", s.Trace[it])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%10s", "final")
+	for _, s := range series {
+		fmt.Fprintf(w, " %14.0f", s.Trace[n-1])
+	}
+	fmt.Fprintln(w)
+}

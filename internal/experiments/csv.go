@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters: machine-readable versions of every artifact, for
+// plotting the figures outside Go. Each writes an RFC-4180 CSV with a
+// header row.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Fig1CSV emits the capacity-scaling curves.
+func Fig1CSV(w io.Writer, rows []Fig1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.N), f(r.PBMBits), f(r.ClusteredBits), f(r.CompactBits)}
+	}
+	return writeCSV(w, []string{"n", "pbm_bits", "clustered_bits", "compact_bits"}, out)
+}
+
+// Table1CSV emits the strategy exploration.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, r.Strategy.String(), f(r.CapacityKB), f(r.OptimalRatio)}
+	}
+	return writeCSV(w, []string{"dataset", "strategy", "capacity_kb", "optimal_ratio"}, out)
+}
+
+// Fig6CSV emits the error-rate curve.
+func Fig6CSV(w io.Writer, res Fig6Result) error {
+	out := make([][]string, len(res.Points))
+	for i, p := range res.Points {
+		out[i] = []string{f(p.VDD), f(p.Rate), f(p.RateHighCBL)}
+	}
+	return writeCSV(w, []string{"vdd_v", "error_rate", "error_rate_4x_cbl"}, out)
+}
+
+// Fig7CSV emits all four panels as one long table.
+func Fig7CSV(w io.Writer, rows []Fig7Row) error {
+	var out [][]string
+	for _, r := range rows {
+		for _, p := range r.Points {
+			out = append(out, []string{
+				r.Dataset, strconv.Itoa(r.N), strconv.Itoa(r.SolvedN),
+				strconv.Itoa(p.PMax), f(r.BaselineRatio), f(p.OptimalRatio),
+				f(p.AreaMM2), f(p.ComputeSeconds), f(p.WriteSeconds),
+				f(p.ReadEnergyJ), f(p.WriteEnergyJ),
+			})
+		}
+	}
+	return writeCSV(w, []string{
+		"dataset", "n", "solved_n", "pmax", "baseline_ratio", "optimal_ratio",
+		"area_mm2", "compute_s", "write_s", "read_energy_j", "write_energy_j",
+	}, out)
+}
+
+// SpeedupCSV emits the CPU-baseline comparison.
+func SpeedupCSV(w io.Writer, rows []SpeedupRow) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Dataset, strconv.Itoa(r.N), f(r.ConcordeSeconds),
+			f(r.AnnealSeconds), f(r.Speedup), f(r.OptimalRatio)}
+	}
+	return writeCSV(w, []string{"dataset", "n", "concorde_s", "annealer_s", "speedup", "optimal_ratio"}, out)
+}
+
+// ConvergenceCSV emits the traces, one column per mode.
+func ConvergenceCSV(w io.Writer, series []ConvergenceSeries) error {
+	if len(series) == 0 {
+		return fmt.Errorf("experiments: no convergence series")
+	}
+	header := []string{"iteration"}
+	for _, s := range series {
+		header = append(header, s.Mode)
+	}
+	n := len(series[0].Trace)
+	out := make([][]string, n)
+	for it := 0; it < n; it++ {
+		row := []string{strconv.Itoa(it + 1)}
+		for _, s := range series {
+			if len(s.Trace) != n {
+				return fmt.Errorf("experiments: trace lengths differ")
+			}
+			row = append(row, f(s.Trace[it]))
+		}
+		out[it] = row
+	}
+	return writeCSV(w, header, out)
+}

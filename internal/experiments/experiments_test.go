@@ -1,0 +1,587 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickCfg shrinks instances so the whole suite stays fast; hardware
+// metrics are unaffected (they use the full published N).
+func quickCfg() Config { return Config{Seed: 1, Scale: 0.05, MCSamples: 60} }
+
+func TestFig1ShapeAndHeadline(t *testing.T) {
+	rows := Fig1()
+	if len(rows) < 5 {
+		t.Fatal("too few Fig. 1 points")
+	}
+	for _, r := range rows {
+		if !(r.PBMBits > r.ClusteredBits && r.ClusteredBits > r.CompactBits) {
+			t.Fatalf("capacity ordering violated at N=%d", r.N)
+		}
+	}
+	// The paper's headline: pla85900 fits in ~46 Mb compact.
+	for _, r := range rows {
+		if r.N == 85900 {
+			if mb := r.CompactBits / 1e6; mb < 40 || mb > 55 {
+				t.Fatalf("compact capacity at 85900 = %.1f Mb", mb)
+			}
+		}
+	}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	rows, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 rows (2 datasets x 6 strategies), got %d", len(rows))
+	}
+	// Capacity column must match the paper exactly (closed-form, full N).
+	byKey := map[string]Table1Row{}
+	for _, r := range rows {
+		byKey[r.Dataset+"/"+r.Strategy.String()] = r
+		if r.OptimalRatio < 0.85 || r.OptimalRatio > 2.5 {
+			t.Fatalf("%s/%v ratio %v out of plausible band", r.Dataset, r.Strategy, r.OptimalRatio)
+		}
+	}
+	if c := byKey["pcb3038/fixed-2"].CapacityKB; math.Abs(c-48.6) > 0.5 {
+		t.Fatalf("pcb3038 fixed-2 capacity %.1f kB, paper says 48.6", c)
+	}
+	if c := byKey["rl5915/semiflex-1..4"].CapacityKB; math.Abs(c-908.5) > 9 {
+		t.Fatalf("rl5915 semiflex-4 capacity %.1f kB, paper says 908.5", c)
+	}
+	if byKey["pcb3038/arbitrary"].CapacityKB != 0 {
+		t.Fatal("arbitrary baseline should have no capacity entry")
+	}
+	// Table I's core insight: strictly fixed clustering is worse than
+	// semi-flexible at comparable size.
+	for _, ds := range []string{"pcb3038", "rl5915"} {
+		if byKey[ds+"/fixed-2"].OptimalRatio <= byKey[ds+"/semiflex-1..2"].OptimalRatio {
+			t.Errorf("%s: fixed-2 (%.3f) not worse than semiflex-2 (%.3f)",
+				ds, byKey[ds+"/fixed-2"].OptimalRatio, byKey[ds+"/semiflex-1..2"].OptimalRatio)
+		}
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	res, err := Fig6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	if len(pts) < 10 {
+		t.Fatal("too few sweep points")
+	}
+	if pts[0].VDD != 0.2 || math.Abs(pts[len(pts)-1].VDD-0.8) > 1e-9 {
+		t.Fatal("sweep endpoints wrong")
+	}
+	if pts[0].Rate < 0.4 {
+		t.Fatalf("rate at 200 mV = %v, want ~0.5", pts[0].Rate)
+	}
+	if pts[len(pts)-1].Rate > 0.01 {
+		t.Fatalf("rate at 800 mV = %v, want ~0", pts[len(pts)-1].Rate)
+	}
+	if res.Fit.MaxRate < 0.4 || res.Fit.MaxRate > 0.6 {
+		t.Fatalf("fit max %v", res.Fit.MaxRate)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	rows, err := Fig7(quickCfg(), []string{"pcb3038", "rl5915"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Points) != 3 {
+			t.Fatalf("%s: %d pMax points", r.Dataset, len(r.Points))
+		}
+		// Area ordering (Fig. 7b): p=2 < p=3 < p=4.
+		if !(r.Points[0].AreaMM2 < r.Points[1].AreaMM2 && r.Points[1].AreaMM2 < r.Points[2].AreaMM2) {
+			t.Errorf("%s: area not increasing in pMax", r.Dataset)
+		}
+		// Latency ordering (Fig. 7c): p=2 slowest.
+		if r.Points[0].ComputeSeconds <= r.Points[1].ComputeSeconds {
+			t.Errorf("%s: p=2 not slower than p=3", r.Dataset)
+		}
+		// Write portions must be the minor component.
+		for _, p := range r.Points {
+			if p.WriteSeconds > p.ComputeSeconds {
+				t.Errorf("%s p=%d: write latency dominates", r.Dataset, p.PMax)
+			}
+			if p.WriteEnergyJ > p.ReadEnergyJ {
+				t.Errorf("%s p=%d: write energy dominates", r.Dataset, p.PMax)
+			}
+			if p.OptimalRatio < 0.85 || p.OptimalRatio > 2.5 {
+				t.Errorf("%s p=%d: ratio %v implausible", r.Dataset, p.PMax, p.OptimalRatio)
+			}
+		}
+		// Baseline (arbitrary) should be no worse than the best semiflex
+		// point by a wide margin.
+		best := math.Inf(1)
+		for _, p := range r.Points {
+			if p.OptimalRatio < best {
+				best = p.OptimalRatio
+			}
+		}
+		if r.BaselineRatio > best*1.15 {
+			t.Errorf("%s: baseline %v much worse than best semiflex %v", r.Dataset, r.BaselineRatio, best)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		pMax, wr, wc, ar, ac int
+	}{
+		{2, 8, 4, 40, 64},
+		{3, 15, 9, 75, 144},
+		{4, 24, 16, 120, 256},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.PMax != w.pMax || r.WindowRows != w.wr || r.WindowCols != w.wc ||
+			r.ArrayRows != w.ar || r.ArrayCols != w.ac {
+			t.Fatalf("row %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	entries, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("expected 6 designs, got %d", len(entries))
+	}
+	ours := entries[len(entries)-1]
+	if ours.Design != "This design" {
+		t.Fatal("ours must be last")
+	}
+	if mb := ours.WeightBits / 1e6; math.Abs(mb-46.4) > 0.5 {
+		t.Fatalf("our weight memory %.1f Mb", mb)
+	}
+	area, power := Table3Improvement(entries)
+	if area < 1e12 {
+		t.Fatalf("normalized area improvement %.2g, paper claims >1e13", area)
+	}
+	if power < 1e12 {
+		t.Fatalf("normalized power improvement %.2g, paper claims >1e13", power)
+	}
+}
+
+func TestSpeedupQuick(t *testing.T) {
+	rows, err := Speedup(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected pcb3038/rl5934/rl11849, got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 1e9 {
+			t.Errorf("%s speedup %.2g below the paper's 1e9 floor", r.Dataset, r.Speedup)
+		}
+		if r.OptimalRatio > 2.0 {
+			t.Errorf("%s ratio %v", r.Dataset, r.OptimalRatio)
+		}
+	}
+}
+
+func TestAblationModesQuick(t *testing.T) {
+	rows, err := AblationModes(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Name] = r.OptimalRatio
+	}
+	if len(byName) != 4 {
+		t.Fatalf("expected 4 modes, got %d", len(byName))
+	}
+	// Noisy CIM must not be worse than greedy (the annealing claim).
+	if byName["noisy-cim"] > byName["greedy"]*1.03 {
+		t.Errorf("noisy-cim %v worse than greedy %v", byName["noisy-cim"], byName["greedy"])
+	}
+}
+
+func TestAblationScheduleQuick(t *testing.T) {
+	rows, err := AblationSchedule(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 schedules, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.OptimalRatio < 0.85 || r.OptimalRatio > 3 {
+			t.Errorf("%s ratio %v", r.Name, r.OptimalRatio)
+		}
+	}
+}
+
+func TestAblationParallelism(t *testing.T) {
+	rows, err := AblationParallelism(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("expected 2 rows")
+	}
+	if rows[0].CyclesPerIteration >= rows[1].CyclesPerIteration {
+		t.Fatal("parallel updates not faster than sequential")
+	}
+	if rows[1].CyclesPerIteration/rows[0].CyclesPerIteration < 5 {
+		t.Fatal("parallel speedup implausibly small")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	RenderFig1(&buf, Fig1())
+	t1, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable1(&buf, t1)
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFig6(&buf, f6)
+	f7, err := Fig7(cfg, []string{"pcb3038"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderFig7(&buf, f7)
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable2(&buf, t2)
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderTable3(&buf, t3)
+	sp, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSpeedup(&buf, sp)
+	am, err := AblationModes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderAblations(&buf, "randomness sources", am)
+	pl, err := AblationParallelism(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderParallelism(&buf, pl)
+	out := buf.String()
+	for _, want := range []string{"Fig. 1", "Table I", "Fig. 6", "Fig. 7(a)", "Fig. 7(d)",
+		"Table II", "Table III", "Concorde", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") && !strings.Contains(out, "NA") {
+		t.Error("NaN leaked into rendering")
+	}
+}
+
+func TestScaledLoadBounds(t *testing.T) {
+	in, fullN, err := scaledLoad("pla85900", Config{Scale: 0.001, Seed: 1}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullN != 85900 {
+		t.Fatalf("full N = %d", fullN)
+	}
+	if in.N() < 60 {
+		t.Fatalf("scaled instance too small: %d", in.N())
+	}
+	full, _, err := scaledLoad("pcb442", Config{Scale: 1, Seed: 1}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.N() != 442 || full.Name != "pcb442" {
+		t.Fatalf("full-scale load altered the instance: %s/%d", full.Name, full.N())
+	}
+}
+
+func TestConvergenceQuick(t *testing.T) {
+	series, err := Convergence(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("expected 3 modes, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Trace) != 400 {
+			t.Fatalf("%s trace has %d points", s.Mode, len(s.Trace))
+		}
+		last := s.Trace[len(s.Trace)-1]
+		if last > s.Trace[0]*1.02 {
+			t.Errorf("%s objective rose %v -> %v", s.Mode, s.Trace[0], last)
+		}
+	}
+	var buf bytes.Buffer
+	RenderConvergence(&buf, series)
+	if !strings.Contains(buf.String(), "Convergence") {
+		t.Fatal("renderer produced no header")
+	}
+}
+
+func TestStabilityQuick(t *testing.T) {
+	rows, err := Stability(quickCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 configs, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Runs != 3 {
+			t.Fatalf("%s ran %d times", r.Name, r.Runs)
+		}
+		if r.BestRatio > r.MeanRatio || r.MeanRatio > r.WorstRatio {
+			t.Fatalf("%s: ordering best<=mean<=worst violated: %+v", r.Name, r)
+		}
+	}
+	// Greedy never touches the fabric: zero spread.
+	if rows[1].StdDev != 0 {
+		t.Fatalf("greedy spread %v across chips, want 0", rows[1].StdDev)
+	}
+	var buf bytes.Buffer
+	RenderStability(&buf, rows)
+	if !strings.Contains(buf.String(), "Stability") {
+		t.Fatal("renderer empty")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	cfg := quickCfg()
+	var buf bytes.Buffer
+	if err := Fig1CSV(&buf, Fig1()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "n,pbm_bits") {
+		t.Fatalf("fig1 header wrong: %q", buf.String()[:40])
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(Fig1())+1 {
+		t.Fatalf("fig1 csv has %d lines", lines)
+	}
+
+	t1, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Table1CSV(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 13 {
+		t.Fatalf("table1 csv lines: %d", strings.Count(buf.String(), "\n"))
+	}
+
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Fig6CSV(&buf, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vdd_v,error_rate") {
+		t.Fatal("fig6 header missing")
+	}
+
+	f7, err := Fig7(cfg, []string{"pcb3038"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Fig7CSV(&buf, f7); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 4 { // header + 3 pmax rows
+		t.Fatalf("fig7 csv lines: %d", strings.Count(buf.String(), "\n"))
+	}
+
+	sp, err := Speedup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := SpeedupCSV(&buf, sp); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 4 {
+		t.Fatalf("speedup csv lines: %d", strings.Count(buf.String(), "\n"))
+	}
+
+	conv, err := Convergence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := ConvergenceCSV(&buf, conv); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 401 {
+		t.Fatalf("convergence csv lines: %d", strings.Count(buf.String(), "\n"))
+	}
+	if err := ConvergenceCSV(&buf, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	rows, err := Baselines(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 solvers, got %d", len(rows))
+	}
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.Solver] = r
+		if r.OptimalRatio <= 0 || r.WallSeconds < 0 {
+			t.Fatalf("%s: bad row %+v", r.Solver, r)
+		}
+	}
+	// The reference pipeline defines ratio 1 against itself.
+	if ref := byName["reference (greedy+2opt+oropt)"]; ref.OptimalRatio < 0.999 || ref.OptimalRatio > 1.001 {
+		t.Fatalf("reference ratio %v, want 1", ref.OptimalRatio)
+	}
+	// The space-filling construction is the weakest solver here.
+	sfc := byName["space-filling curve"].OptimalRatio
+	for name, r := range byName {
+		if name == "space-filling curve" {
+			continue
+		}
+		if r.OptimalRatio > sfc+0.01 {
+			t.Errorf("%s (%.3f) worse than the space-filling curve (%.3f)", name, r.OptimalRatio, sfc)
+		}
+	}
+	var buf bytes.Buffer
+	RenderBaselines(&buf, rows)
+	if !strings.Contains(buf.String(), "Baselines") {
+		t.Fatal("renderer empty")
+	}
+}
+
+func TestRelatedWorkQuick(t *testing.T) {
+	rows, err := RelatedWork(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	var ctt, big RelatedWorkRow
+	for _, r := range rows {
+		switch r.System {
+		case "CTT clustered annealer [3]":
+			ctt = r
+		case "This design (pla85900)":
+			big = r
+		}
+	}
+	// The paper's contrast: 46.4 Mb for 85900 cities vs 90 Mb for 1060.
+	if big.MemoryMb >= ctt.MemoryMb {
+		t.Fatalf("our memory %v Mb not below CTT's %v Mb", big.MemoryMb, ctt.MemoryMb)
+	}
+	if big.Cities <= ctt.Cities {
+		t.Fatal("city count contrast missing")
+	}
+	var buf bytes.Buffer
+	RenderRelatedWork(&buf, rows)
+	if !strings.Contains(buf.String(), "Neuro-Ising") {
+		t.Fatal("renderer missing Neuro-Ising row")
+	}
+}
+
+func TestAblationPrecisionQuick(t *testing.T) {
+	rows, err := AblationPrecision(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 precision points, got %d", len(rows))
+	}
+	byBits := map[int]float64{}
+	for _, r := range rows {
+		byBits[r.Bits] = r.OptimalRatio
+	}
+	// 2-bit weights must be clearly worse than 8-bit.
+	if byBits[2] < byBits[8]*1.02 {
+		t.Fatalf("2-bit (%v) not worse than 8-bit (%v)", byBits[2], byBits[8])
+	}
+	// 8-bit and 6-bit should be close (the paper's margin).
+	if byBits[6] > byBits[8]*1.10 {
+		t.Fatalf("6-bit (%v) collapsed vs 8-bit (%v)", byBits[6], byBits[8])
+	}
+	var buf bytes.Buffer
+	RenderPrecision(&buf, rows)
+	if !strings.Contains(buf.String(), "8-bit") {
+		t.Fatal("renderer empty")
+	}
+}
+
+func TestAblationIterationsQuick(t *testing.T) {
+	rows, err := AblationIterations(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 budgets, got %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.HardwareCyclesPerLevel != r.Iterations*10 {
+			t.Fatalf("cycle accounting wrong for %d iterations", r.Iterations)
+		}
+		if i > 0 && r.Iterations <= rows[i-1].Iterations {
+			t.Fatal("sweep not ascending")
+		}
+	}
+	// The largest budget must not be dramatically worse than the smallest.
+	if rows[3].OptimalRatio > rows[0].OptimalRatio*1.05 {
+		t.Fatalf("%d iterations (%v) much worse than %d (%v)",
+			rows[3].Iterations, rows[3].OptimalRatio, rows[0].Iterations, rows[0].OptimalRatio)
+	}
+	var buf bytes.Buffer
+	RenderIterations(&buf, rows)
+	if !strings.Contains(buf.String(), "iterations per level") {
+		t.Fatal("renderer empty")
+	}
+}
+
+func TestFig7DatasetsAreRegistered(t *testing.T) {
+	names := Fig7Datasets()
+	if len(names) < 5 {
+		t.Fatalf("Fig. 7 sweep too small: %d datasets", len(names))
+	}
+	for _, n := range names {
+		if _, _, err := scaledLoad(n, Config{Scale: 0.01}.withDefaults()); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"cimsa/internal/cluster"
+	"cimsa/internal/device"
+	"cimsa/internal/ppa"
+)
+
+// ---- Fig. 1: memory capacity vs TSP scale ----
+
+// Fig1Row is one point of Fig. 1: the weight memory each design needs.
+type Fig1Row struct {
+	N int
+	// PBMBits is the unoptimized O(N⁴) formulation.
+	PBMBits float64
+	// ClusteredBits is the clustered O(N²) design of [3].
+	ClusteredBits float64
+	// CompactBits is this work's O(N) compact design.
+	CompactBits float64
+}
+
+// Fig1 sweeps the problem scale like the figure's x-axis (10³ to 10⁵,
+// including the paper's datasets) at p = 3.
+func Fig1() []Fig1Row {
+	ns := []int{1000, 2000, 3038, 5915, 11849, 20000, 33810, 50000, 85900, 100000}
+	rows := make([]Fig1Row, len(ns))
+	for i, n := range ns {
+		pbm, clus, compact := ppa.MemoryCapacityBits(n, 3)
+		rows[i] = Fig1Row{N: n, PBMBits: pbm, ClusteredBits: clus, CompactBits: compact}
+	}
+	return rows
+}
+
+// ---- Fig. 6(b): SRAM pseudo-read error rate vs V_DD ----
+
+// Fig6Point is one voltage sample of the Monte Carlo error-rate curve,
+// at the nominal and a 4x bit-line capacitance.
+type Fig6Point struct {
+	VDD         float64
+	Rate        float64
+	RateHighCBL float64
+}
+
+// Fig6Result bundles the curve and its fitted sigmoid.
+type Fig6Result struct {
+	Points []Fig6Point
+	Fit    device.ErrorModel
+}
+
+// Fig6 runs the device Monte Carlo over the 200-800 mV sweep with the
+// configured sample count (1000 in the paper).
+func Fig6(cfg Config) (Fig6Result, error) {
+	c := cfg.withDefaults()
+	p := device.Params16nm()
+	hi := p
+	hi.CBLRel = 4
+	vdds := device.SweepVDD(0.04)
+	rates := device.ErrorRateCurve(p, vdds, c.MCSamples, c.Seed+6)
+	ratesHi := device.ErrorRateCurve(hi, vdds, c.MCSamples, c.Seed+6)
+	out := Fig6Result{Points: make([]Fig6Point, len(vdds))}
+	for i := range vdds {
+		out.Points[i] = Fig6Point{VDD: vdds[i], Rate: rates[i], RateHighCBL: ratesHi[i]}
+	}
+	fit, err := device.FitSigmoid(vdds, rates)
+	if err != nil {
+		return out, err
+	}
+	out.Fit = fit
+	return out, nil
+}
+
+// ---- Fig. 7: quality, area, latency, energy across datasets ----
+
+// Fig7Point is one (dataset, pMax) design point.
+type Fig7Point struct {
+	PMax         int
+	OptimalRatio float64
+	AreaMM2      float64
+	// Latency breakdown in seconds (Fig. 7c).
+	ComputeSeconds, WriteSeconds float64
+	// Energy breakdown in joules (Fig. 7d).
+	ReadEnergyJ, WriteEnergyJ float64
+}
+
+// Fig7Row is one dataset line across the pMax sweep, with the
+// unlimited-p baseline ratio of Fig. 7(a).
+type Fig7Row struct {
+	Dataset string
+	// N is the full published size; SolvedN the (possibly scaled) size
+	// actually annealed for the quality column.
+	N, SolvedN    int
+	BaselineRatio float64
+	Points        []Fig7Point
+}
+
+// Fig7Datasets is the paper's Fig. 7 sweep.
+func Fig7Datasets() []string {
+	return []string{"pcb3038", "rl5915", "rl11849", "usa13509", "d15112", "d18512", "pla33810"}
+}
+
+// Fig7 evaluates the full panel: optimal ratio per pMax plus the
+// arbitrary-clustering baseline (a), chip area (b), latency breakdown
+// (c) and dynamic energy breakdown (d). Hardware numbers always use the
+// full published N.
+func Fig7(cfg Config, datasets []string) ([]Fig7Row, error) {
+	c := cfg.withDefaults()
+	if datasets == nil {
+		datasets = Fig7Datasets()
+	}
+	tech := ppa.Tech16nm()
+	rows := make([]Fig7Row, 0, len(datasets))
+	for _, name := range datasets {
+		in, fullN, err := scaledLoad(name, c)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Dataset: name, N: fullN, SolvedN: in.N()}
+		base, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.Arbitrary}, 0, c.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		row.BaselineRatio = base
+		for _, pMax := range []int{2, 3, 4} {
+			ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: pMax}, 0, c.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			chip, err := ppa.Chip(fullN, pMax, ppa.PaperProfile(fullN, pMax), tech)
+			if err != nil {
+				return nil, err
+			}
+			row.Points = append(row.Points, Fig7Point{
+				PMax:           pMax,
+				OptimalRatio:   ratio,
+				AreaMM2:        chip.AreaMM2,
+				ComputeSeconds: chip.ComputeSeconds,
+				WriteSeconds:   chip.WriteSeconds,
+				ReadEnergyJ:    chip.ReadEnergyJ,
+				WriteEnergyJ:   chip.WriteEnergyJ,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

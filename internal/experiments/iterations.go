@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/noise"
+)
+
+// IterationsRow is one point of the iterations-per-level sweep.
+type IterationsRow struct {
+	Iterations   int
+	OptimalRatio float64
+	// HardwareCyclesPerLevel is the modelled compute cycle cost.
+	HardwareCyclesPerLevel int
+}
+
+// AblationIterations sweeps the per-level iteration budget around the
+// paper's 400, scaling the (V_DD, #LSB) schedule's epoch length so the
+// full annealing trajectory is always traversed. It shows the knee the
+// paper's choice sits on: fewer iterations leave quality on the table,
+// more buy little.
+func AblationIterations(cfg Config) ([]IterationsRow, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("rl5915", c)
+	if err != nil {
+		return nil, err
+	}
+	var rows []IterationsRow
+	for _, iters := range []int{100, 200, 400, 800} {
+		sched := noise.PaperSchedule()
+		sched.EpochIters = iters / sched.Epochs
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+			Schedule: sched,
+			Seed:     c.Seed + 37,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ratio, err := refRatio(in, res.Length)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, IterationsRow{
+			Iterations:             sched.TotalIters(),
+			OptimalRatio:           ratio,
+			HardwareCyclesPerLevel: sched.TotalIters() * 10,
+		})
+	}
+	return rows, nil
+}
+
+// RenderIterations prints the sweep.
+func RenderIterations(w io.Writer, rows []IterationsRow) {
+	fmt.Fprintf(w, "Ablation — iterations per level (rl5915; paper uses 400)\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %4d iterations (%5d cycles/level): optimal ratio %.3f\n",
+			r.Iterations, r.HardwareCyclesPerLevel, r.OptimalRatio)
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// RenderFig1 prints the memory-capacity scaling table.
+func RenderFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintf(w, "Fig. 1 — weight memory capacity vs TSP scale (p = 3)\n")
+	fmt.Fprintf(w, "%10s %14s %14s %14s\n", "N", "PBM O(N^4)", "clustered O(N^2)", "compact O(N)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %14s %14s %14s\n", r.N,
+			bits(r.PBMBits), bits(r.ClusteredBits), bits(r.CompactBits))
+	}
+}
+
+// bits formats a bit count with engineering units.
+func bits(b float64) string {
+	switch {
+	case b >= 1e15:
+		return fmt.Sprintf("%.2g b", b)
+	case b >= 1e9:
+		return fmt.Sprintf("%.1f Gb", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.1f Mb", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.1f kb", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f b", b)
+	}
+}
+
+// RenderTable1 prints the cluster-strategy exploration.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table I — exploration of cluster size and strategy\n")
+	fmt.Fprintf(w, "%-10s %-16s %12s %14s\n", "dataset", "#elements", "capacity(kB)", "optimal ratio")
+	for _, r := range rows {
+		cap := "-"
+		if r.CapacityKB > 0 {
+			cap = fmt.Sprintf("%.1f", r.CapacityKB)
+		}
+		fmt.Fprintf(w, "%-10s %-16s %12s %14.3f\n", r.Dataset, r.Strategy, cap, r.OptimalRatio)
+	}
+}
+
+// RenderFig6 prints the error-rate curve and its sigmoid fit.
+func RenderFig6(w io.Writer, res Fig6Result) {
+	fmt.Fprintf(w, "Fig. 6(b) — SRAM pseudo-read error rate vs V_DD (Monte Carlo)\n")
+	fmt.Fprintf(w, "%8s %12s %16s\n", "VDD(mV)", "error rate", "rate @ 4x C_BL")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%8.0f %12.4f %16.4f\n", p.VDD*1000, p.Rate, p.RateHighCBL)
+	}
+	fmt.Fprintf(w, "sigmoid fit: max %.3f, V50 %.0f mV, slope %.0f mV\n",
+		res.Fit.MaxRate, res.Fit.V50*1000, res.Fit.Slope*1000)
+}
+
+// RenderFig7 prints the four panels of Fig. 7.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintf(w, "Fig. 7(a) — optimal ratio (baseline = arbitrary clustering)\n")
+	fmt.Fprintf(w, "%-10s %8s %10s %8s %8s %8s\n", "dataset", "solvedN", "baseline", "p=2", "p=3", "p=4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %10.3f", r.Dataset, r.SolvedN, r.BaselineRatio)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %8.3f", p.OptimalRatio)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nFig. 7(b) — chip area (mm², full N)\n")
+	fmt.Fprintf(w, "%-10s %10s %8s %8s %8s\n", "dataset", "N", "p=2", "p=3", "p=4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d", r.Dataset, r.N)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %8.2f", p.AreaMM2)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nFig. 7(c) — latency (µs, compute+write breakdown, full N)\n")
+	fmt.Fprintf(w, "%-10s %22s %22s %22s\n", "dataset", "p=2 (rd+wr)", "p=3 (rd+wr)", "p=4 (rd+wr)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Dataset)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %12.1f +%8.1f", p.ComputeSeconds*1e6, p.WriteSeconds*1e6)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\nFig. 7(d) — dynamic energy (µJ, read+write breakdown, full N)\n")
+	fmt.Fprintf(w, "%-10s %22s %22s %22s\n", "dataset", "p=2 (rd+wr)", "p=3 (rd+wr)", "p=4 (rd+wr)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Dataset)
+		for _, p := range r.Points {
+			fmt.Fprintf(w, " %12.1f +%8.1f", p.ReadEnergyJ*1e6, p.WriteEnergyJ*1e6)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable2 prints the PPA settings table.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "Table II — PPA evaluation settings (16/14nm FinFET, 8-bit weight)\n")
+	fmt.Fprintf(w, "%6s %12s %12s %18s\n", "p_max", "window", "array", "array area (µm)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12s %12s %18s\n", r.PMax,
+			fmt.Sprintf("%dx%d", r.WindowRows, r.WindowCols),
+			fmt.Sprintf("%dx%d", r.ArrayRows, r.ArrayCols),
+			fmt.Sprintf("%.0fx%.0f", r.ArrayHeightUM, r.ArrayWidthUM))
+	}
+}
+
+// RenderTable3 prints the SOTA comparison.
+func RenderTable3(w io.Writer, entries []Table3Entry) {
+	fmt.Fprintf(w, "Table III — comparison with SOTA scalable annealers\n")
+	fmt.Fprintf(w, "%-16s %-12s %-8s %10s %12s %10s %10s %12s %12s\n",
+		"design", "technology", "problem", "#spins", "weights", "area(mm²)", "power(mW)", "µm²/bit", "nW/bit")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-16s %-12s %-8s %10s %12s %10s %10s %12s %12s\n",
+			e.Design, e.Technology, e.Problem,
+			eng(e.Spins), bits(e.WeightBits), num(e.AreaMM2), num(e.PowerMW),
+			num(e.AreaPerBitUM2), num(e.PowerPerBitNW))
+		if e.FunctionalWeightBits > 0 {
+			fmt.Fprintf(w, "%-16s functional: %s spins, %s; normalized: %.2g µm²/bit, %.2g nW/bit\n",
+				"", eng(e.FunctionalSpins), bits(e.FunctionalWeightBits),
+				e.NormAreaPerBitUM2, e.NormPowerPerBitNW)
+		}
+	}
+	area, power := Table3Improvement(entries)
+	fmt.Fprintf(w, "improvement vs best reported (functionally normalized): %.1e x area, %.1e x power\n", area, power)
+}
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func eng(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// RenderSpeedup prints the CPU-baseline comparison.
+func RenderSpeedup(w io.Writer, rows []SpeedupRow) {
+	fmt.Fprintf(w, "§VI — convergence speedup vs Concorde CPU baseline\n")
+	fmt.Fprintf(w, "%-10s %10s %14s %14s %10s %14s\n",
+		"dataset", "N", "Concorde(s)", "annealer(s)", "speedup", "optimal ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %14.3g %14.3g %10.1e %14.3f\n",
+			r.Dataset, r.N, r.ConcordeSeconds, r.AnnealSeconds, r.Speedup, r.OptimalRatio)
+	}
+}
+
+// RenderAblations prints the design-choice ablation rows.
+func RenderAblations(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "Ablation — %s\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-28s optimal ratio %.3f\n", r.Name, r.OptimalRatio)
+	}
+}
+
+// RenderParallelism prints the chromatic-parallelism ablation.
+func RenderParallelism(w io.Writer, rows []ParallelismRow) {
+	fmt.Fprintf(w, "Ablation — parallel vs sequential cluster updates\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-32s %.0f cycles/iteration\n", r.Name, r.CyclesPerIteration)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/noise"
+)
+
+// StabilityRow summarizes run-to-run variation of one configuration
+// across independently fabricated chips (different noise fabrics).
+type StabilityRow struct {
+	Name                  string
+	Runs                  int
+	MeanRatio, StdDev     float64
+	BestRatio, WorstRatio float64
+}
+
+// Stability measures how much the solution quality depends on which
+// physical chip (fabric seed) runs the annealer — the practical face of
+// "process variation as an entropy source". The proposal stream is held
+// fixed; only the fabric changes. A healthy design shows small spread;
+// the greedy ablation shows zero spread (it never reads the noisy bits).
+func Stability(cfg Config, runs int) ([]StabilityRow, error) {
+	c := cfg.withDefaults()
+	if runs <= 0 {
+		runs = 5
+	}
+	in, _, err := scaledLoad("pcb3038", c)
+	if err != nil {
+		return nil, err
+	}
+	strategy := cluster.Strategy{Kind: cluster.SemiFlex, P: 3}
+	configs := []struct {
+		name string
+		mode clustered.Mode
+	}{
+		{"noisy-cim across chips", clustered.ModeNoisyCIM},
+		{"greedy (fabric-independent)", clustered.ModeGreedy},
+	}
+	var rows []StabilityRow
+	for _, cf := range configs {
+		var ratios []float64
+		for run := 0; run < runs; run++ {
+			res, err := clustered.Solve(in, clustered.Options{
+				Strategy: strategy,
+				Mode:     cf.mode,
+				Seed:     c.Seed + 23, // fixed proposal stream
+				Fabric:   noise.NewFabric(1000 + uint64(run)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			ratio, err := refRatio(in, res.Length)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, ratio)
+		}
+		rows = append(rows, summarize(cf.name, ratios))
+	}
+	return rows, nil
+}
+
+func summarize(name string, ratios []float64) StabilityRow {
+	row := StabilityRow{Name: name, Runs: len(ratios), BestRatio: math.Inf(1)}
+	var sum float64
+	for _, r := range ratios {
+		sum += r
+		if r < row.BestRatio {
+			row.BestRatio = r
+		}
+		if r > row.WorstRatio {
+			row.WorstRatio = r
+		}
+	}
+	row.MeanRatio = sum / float64(len(ratios))
+	var varSum float64
+	for _, r := range ratios {
+		d := r - row.MeanRatio
+		varSum += d * d
+	}
+	if len(ratios) > 1 {
+		row.StdDev = math.Sqrt(varSum / float64(len(ratios)-1))
+	}
+	return row
+}
+
+// RenderStability prints the chip-to-chip variation table.
+func RenderStability(w io.Writer, rows []StabilityRow) {
+	fmt.Fprintf(w, "Stability — solution quality across fabricated chips (pcb3038)\n")
+	fmt.Fprintf(w, "%-30s %6s %10s %10s %10s %10s\n", "config", "runs", "mean", "stddev", "best", "worst")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %6d %10.3f %10.4f %10.3f %10.3f\n",
+			r.Name, r.Runs, r.MeanRatio, r.StdDev, r.BestRatio, r.WorstRatio)
+	}
+}

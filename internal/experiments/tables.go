@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"math"
+
+	"cimsa/internal/cim"
+	"cimsa/internal/cluster"
+	"cimsa/internal/ppa"
+	"cimsa/internal/tsplib"
+)
+
+// ---- Table I: cluster size / strategy exploration ----
+
+// Table1Row is one strategy row for one dataset.
+type Table1Row struct {
+	Dataset  string
+	Strategy cluster.Strategy
+	// CapacityKB is the hardware-provisioned weight memory for the full
+	// published N (blank/zero for the arbitrary baseline, as in the
+	// paper).
+	CapacityKB float64
+	// OptimalRatio is measured by solving (at the configured scale).
+	OptimalRatio float64
+}
+
+// Table1Strategies is the paper's row set: the arbitrary baseline,
+// strictly fixed sizes 2 and 4, and semi-flexible 1..2, 1..3, 1..4.
+func Table1Strategies() []cluster.Strategy {
+	return []cluster.Strategy{
+		{Kind: cluster.Arbitrary},
+		{Kind: cluster.Fixed, P: 2},
+		{Kind: cluster.Fixed, P: 4},
+		{Kind: cluster.SemiFlex, P: 2},
+		{Kind: cluster.SemiFlex, P: 3},
+		{Kind: cluster.SemiFlex, P: 4},
+	}
+}
+
+// Table1 reproduces the exploration on pcb3038 and rl5915.
+func Table1(cfg Config) ([]Table1Row, error) {
+	c := cfg.withDefaults()
+	var rows []Table1Row
+	for _, name := range []string{"pcb3038", "rl5915"} {
+		in, fullN, err := scaledLoad(name, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range Table1Strategies() {
+			ratio, _, err := solveRatio(in, s, 0, c.Seed+3)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{
+				Dataset:      name,
+				Strategy:     s,
+				CapacityKB:   float64(cluster.ProvisionedBytes(fullN, s)) / 1000,
+				OptimalRatio: ratio,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ---- Table II: PPA evaluation settings ----
+
+// Table2Row is one pMax design point's geometry.
+type Table2Row struct {
+	PMax                        int
+	WindowRows, WindowCols      int
+	ArrayRows, ArrayCols        int
+	ArrayWidthUM, ArrayHeightUM float64
+}
+
+// Table2 reproduces the array geometry table.
+func Table2() ([]Table2Row, error) {
+	tech := ppa.Tech16nm()
+	var rows []Table2Row
+	for _, pMax := range []int{2, 3, 4} {
+		arr, err := ppa.ArrayModel(pMax, tech)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			PMax:          pMax,
+			WindowRows:    cim.ProvisionedRows(pMax),
+			WindowCols:    cim.ProvisionedCols(pMax),
+			ArrayRows:     arr.Geometry.CellRows,
+			ArrayCols:     arr.Geometry.CellCols,
+			ArrayWidthUM:  arr.WidthUM,
+			ArrayHeightUM: arr.HeightUM,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Table III: comparison with SOTA scalable annealers ----
+
+// Table3Entry is one design column. Literature entries carry the values
+// the paper quotes; NaN marks the paper's "NA" cells. "This design" is
+// computed from our PPA model for pla85900 at pMax = 3.
+type Table3Entry struct {
+	Design     string
+	Technology string
+	Problem    string
+	Spins      float64
+	WeightBits float64
+	AreaMM2    float64
+	PowerMW    float64
+	// Derived physical metrics.
+	AreaPerBitUM2, PowerPerBitNW float64
+	// Functional values (ours only; zero elsewhere).
+	FunctionalSpins, FunctionalWeightBits float64
+	NormAreaPerBitUM2, NormPowerPerBitNW  float64
+}
+
+// Table3 builds the comparison table.
+func Table3() ([]Table3Entry, error) {
+	nan := math.NaN()
+	lit := []Table3Entry{
+		{Design: "STATICA [18]", Technology: "65nm CMOS", Problem: "Max-Cut", Spins: 512, WeightBits: 1.31e6, AreaMM2: 12, PowerMW: 649, AreaPerBitUM2: 9, PowerPerBitNW: 495},
+		{Design: "CIM-Spin [22]", Technology: "65nm CMOS", Problem: "Max-Cut", Spins: 480, WeightBits: 17.28e3, AreaMM2: 0.4, PowerMW: 0.36, AreaPerBitUM2: 23, PowerPerBitNW: 21},
+		{Design: "Takemoto [23]", Technology: "40nm CMOS", Problem: "Max-Cut", Spins: 16e3 * 9, WeightBits: 0.64e6, AreaMM2: 10.8, PowerMW: nan, AreaPerBitUM2: 16.5, PowerPerBitNW: nan},
+		{Design: "Yamaoka [27]", Technology: "65nm CMOS", Problem: "Max-Cut", Spins: 1024, WeightBits: 57e3, AreaMM2: 0.34, PowerMW: 1.17, AreaPerBitUM2: 6, PowerPerBitNW: 20},
+		{Design: "Amorphica [25]", Technology: "40nm CMOS", Problem: "Max-Cut", Spins: 2e3, WeightBits: 8e6, AreaMM2: 9, PowerMW: 313, AreaPerBitUM2: 1.1, PowerPerBitNW: 38},
+	}
+	const n = 85900
+	rep, err := ppa.Chip(n, 3, ppa.PaperProfile(n, 3), ppa.Tech16nm())
+	if err != nil {
+		return nil, err
+	}
+	ours := Table3Entry{
+		Design:               "This design",
+		Technology:           "16/14nm CMOS",
+		Problem:              "TSP",
+		Spins:                float64(rep.PhysicalSpins),
+		WeightBits:           float64(rep.PhysicalWeightBits),
+		AreaMM2:              rep.AreaMM2,
+		PowerMW:              rep.PowerMW,
+		AreaPerBitUM2:        rep.AreaPerWeightBitUM2(),
+		PowerPerBitNW:        rep.PowerPerWeightBitNW(),
+		FunctionalSpins:      ppa.FunctionalSpins(n),
+		FunctionalWeightBits: ppa.FunctionalWeightBits(n),
+		NormAreaPerBitUM2:    rep.NormalizedAreaPerWeightBitUM2(),
+		NormPowerPerBitNW:    rep.NormalizedPowerPerWeightBitNW(),
+	}
+	return append(lit, ours), nil
+}
+
+// Table3Improvement returns the paper's headline >1e13x claim: the best
+// competitor physical metric divided by our functionally normalized one.
+func Table3Improvement(entries []Table3Entry) (area, power float64) {
+	bestArea, bestPower := math.Inf(1), math.Inf(1)
+	var ours Table3Entry
+	for _, e := range entries {
+		if e.Design == "This design" {
+			ours = e
+			continue
+		}
+		if !math.IsNaN(e.AreaPerBitUM2) && e.AreaPerBitUM2 < bestArea {
+			bestArea = e.AreaPerBitUM2
+		}
+		if !math.IsNaN(e.PowerPerBitNW) && e.PowerPerBitNW < bestPower {
+			bestPower = e.PowerPerBitNW
+		}
+	}
+	return bestArea / ours.NormAreaPerBitUM2, bestPower / ours.NormPowerPerBitNW
+}
+
+// ---- §VI: speedup vs the Concorde CPU baseline ----
+
+// SpeedupRow compares the modelled time-to-solution against the quoted
+// Concorde exact-solver runtime, with the quality overhead paid for it.
+type SpeedupRow struct {
+	Dataset         string
+	N               int
+	ConcordeSeconds float64
+	AnnealSeconds   float64
+	Speedup         float64
+	OptimalRatio    float64
+}
+
+// Speedup evaluates the datasets the paper quotes Concorde times for.
+func Speedup(cfg Config) ([]SpeedupRow, error) {
+	c := cfg.withDefaults()
+	tech := ppa.Tech16nm()
+	var rows []SpeedupRow
+	for _, k := range tsplib.Registry {
+		if k.ConcordeSeconds == 0 {
+			continue
+		}
+		in, fullN, err := scaledLoad(k.Name, c)
+		if err != nil {
+			return nil, err
+		}
+		ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: 3}, 0, c.Seed+9)
+		if err != nil {
+			return nil, err
+		}
+		chip, err := ppa.Chip(fullN, 3, ppa.PaperProfile(fullN, 3), tech)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedupRow{
+			Dataset:         k.Name,
+			N:               fullN,
+			ConcordeSeconds: k.ConcordeSeconds,
+			AnnealSeconds:   chip.LatencySeconds,
+			Speedup:         k.ConcordeSeconds / chip.LatencySeconds,
+			OptimalRatio:    ratio,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,210 @@
+package heuristics
+
+import (
+	"math"
+	"sort"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// NearestNeighbor builds a tour by repeatedly moving to the closest
+// unvisited city, starting from city start. Neighbour lists accelerate
+// the search; when a city's whole list is exhausted (all visited), the
+// fallback scans linearly.
+func NearestNeighbor(in *tsplib.Instance, nl *NeighborLists, start int) tour.Tour {
+	n := in.N()
+	t := make(tour.Tour, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	visited[cur] = true
+	t = append(t, cur)
+	for len(t) < n {
+		next := -1
+		for _, j := range nl.Lists[cur] {
+			if !visited[j] {
+				next = int(j)
+				break
+			}
+		}
+		if next < 0 {
+			best := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if visited[j] {
+					continue
+				}
+				if d := in.Dist(cur, j); d < best {
+					best = d
+					next = j
+				}
+			}
+		}
+		visited[next] = true
+		t = append(t, next)
+		cur = next
+	}
+	return t
+}
+
+// GreedyEdge builds a tour by sorting candidate edges (from the
+// neighbour lists) by length and adding each edge unless it would create
+// a degree-3 vertex or a premature cycle (Christofides-style greedy
+// matching on the candidate graph). Cities left with degree < 2 when
+// candidates run out are stitched in by nearest-endpoint insertion.
+func GreedyEdge(in *tsplib.Instance, nl *NeighborLists) tour.Tour {
+	n := in.N()
+	type edge struct {
+		a, b int32
+		d    float64
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for _, j := range nl.Lists[i] {
+			if int32(i) < j {
+				edges = append(edges, edge{int32(i), j, in.Dist(i, int(j))})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].d != edges[b].d {
+			return edges[a].d < edges[b].d
+		}
+		if edges[a].a != edges[b].a {
+			return edges[a].a < edges[b].a
+		}
+		return edges[a].b < edges[b].b
+	})
+	deg := make([]int8, n)
+	uf := newUnionFind(n)
+	adj := make([][2]int32, n)
+	for i := range adj {
+		adj[i] = [2]int32{-1, -1}
+	}
+	added := 0
+	addEdge := func(a, b int32) {
+		if deg[a] >= 2 || deg[b] >= 2 {
+			return
+		}
+		if uf.find(int(a)) == uf.find(int(b)) && added < n-1 {
+			return
+		}
+		uf.union(int(a), int(b))
+		adj[a][deg[a]] = b
+		adj[b][deg[b]] = a
+		deg[a]++
+		deg[b]++
+		added++
+	}
+	for _, e := range edges {
+		if added == n {
+			break
+		}
+		addEdge(e.a, e.b)
+	}
+	// Stitch remaining low-degree cities: connect path endpoints greedily.
+	for added < n {
+		// Collect endpoints (degree < 2).
+		var ends []int32
+		for i := 0; i < n; i++ {
+			if deg[i] < 2 {
+				ends = append(ends, int32(i))
+			}
+		}
+		if len(ends) == 0 {
+			break
+		}
+		a := ends[0]
+		best := int32(-1)
+		bestD := math.Inf(1)
+		for _, b := range ends[1:] {
+			if deg[b] >= 2 {
+				continue
+			}
+			if uf.find(int(a)) == uf.find(int(b)) && added < n-1 {
+				continue
+			}
+			if d := in.Dist(int(a), int(b)); d < bestD {
+				bestD = d
+				best = b
+			}
+		}
+		if best < 0 {
+			// Only one component left: close the cycle.
+			for _, b := range ends[1:] {
+				if deg[b] < 2 {
+					best = b
+					break
+				}
+			}
+			if best < 0 {
+				break
+			}
+		}
+		addEdge(a, best)
+	}
+	// Walk the cycle.
+	t := make(tour.Tour, 0, n)
+	prev, cur := int32(-1), int32(0)
+	for len(t) < n {
+		t = append(t, int(cur))
+		next := adj[cur][0]
+		if next == prev || next < 0 {
+			next = adj[cur][1]
+		}
+		if next < 0 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	if len(t) != n {
+		// Defensive fallback: candidate graph was too sparse to close a
+		// single cycle; fall back to nearest neighbour which always
+		// produces a valid tour.
+		return NearestNeighbor(in, nl, 0)
+	}
+	return t
+}
+
+// SpaceFilling orders cities along the Hilbert curve. It is the cheapest
+// reasonable construction (O(n log n)) and the usual initial tour for the
+// annealers.
+func SpaceFilling(in *tsplib.Instance) tour.Tour {
+	return tour.Tour(geom.HilbertSort(in.Cities))
+}
+
+// unionFind is a path-compressing disjoint-set forest.
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != int32(x) {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

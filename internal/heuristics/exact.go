@@ -1,0 +1,98 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// maxExactN bounds the Held-Karp solver: 2^n * n^2 memory/time.
+const maxExactN = 18
+
+// Exact solves the instance optimally with Held-Karp dynamic programming.
+// It is intended for unit tests and for the tops of very small cluster
+// hierarchies; it returns an error above maxExactN cities.
+func Exact(in *tsplib.Instance) (tour.Tour, float64, error) {
+	n := in.N()
+	if n > maxExactN {
+		return nil, 0, fmt.Errorf("heuristics: exact solver limited to %d cities, got %d", maxExactN, n)
+	}
+	if n < 3 {
+		return nil, 0, fmt.Errorf("heuristics: exact solver needs >= 3 cities, got %d", n)
+	}
+	d := in.DistanceMatrix()
+	// dp[mask][j]: min cost of a path starting at 0, visiting exactly the
+	// cities in mask (which contains 0 and j), ending at j.
+	size := 1 << n
+	dp := make([]float64, size*n)
+	parent := make([]int8, size*n)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+	}
+	dp[(1<<0)*n+0] = 0
+	for mask := 1; mask < size; mask++ {
+		if mask&1 == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cur := dp[mask*n+j]
+			if math.IsInf(cur, 1) {
+				continue
+			}
+			for k := 1; k < n; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				nm := mask | 1<<k
+				cand := cur + d[j][k]
+				if cand < dp[nm*n+k] {
+					dp[nm*n+k] = cand
+					parent[nm*n+k] = int8(j)
+				}
+			}
+		}
+	}
+	full := size - 1
+	best := math.Inf(1)
+	bestEnd := -1
+	for j := 1; j < n; j++ {
+		if c := dp[full*n+j] + d[j][0]; c < best {
+			best = c
+			bestEnd = j
+		}
+	}
+	// Reconstruct.
+	t := make(tour.Tour, n)
+	mask := full
+	j := bestEnd
+	for i := n - 1; i >= 1; i-- {
+		t[i] = j
+		pj := int(parent[mask*n+j])
+		mask ^= 1 << j
+		j = pj
+	}
+	t[0] = 0
+	return t, best, nil
+}
+
+// Reference computes the classical reference tour used as the
+// "best-known" denominator for optimal-ratio reporting on synthetic
+// instances: greedy-edge construction followed by 2-opt and Or-opt local
+// search to convergence. Deterministic.
+func Reference(in *tsplib.Instance) (tour.Tour, float64) {
+	k := 10
+	if in.N() <= 50 {
+		k = in.N() - 1
+	}
+	nl := BuildNeighbors(in, k)
+	t := GreedyEdge(in, nl)
+	t = TwoOpt(in, nl, t, 0)
+	t = OrOpt(in, nl, t, 3)
+	t = TwoOpt(in, nl, t, 0)
+	return t, t.Length(in)
+}

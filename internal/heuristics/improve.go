@@ -1,0 +1,240 @@
+package heuristics
+
+import (
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// TwoOpt improves the tour with neighbour-list 2-opt moves and don't-look
+// bits until no improving move remains (or maxPasses full sweeps run).
+// The tour is modified in place and also returned. Pass maxPasses <= 0
+// for "until convergence".
+func TwoOpt(in *tsplib.Instance, nl *NeighborLists, t tour.Tour, maxPasses int) tour.Tour {
+	n := len(t)
+	if n < 4 {
+		return t
+	}
+	pos := t.Positions()
+	dontLook := make([]bool, n)
+	active := n
+	pass := 0
+	for active > 0 {
+		pass++
+		if maxPasses > 0 && pass > maxPasses {
+			break
+		}
+		active = 0
+		for c1 := 0; c1 < n; c1++ {
+			if dontLook[c1] {
+				continue
+			}
+			improved := twoOptCity(in, nl, t, pos, dontLook, c1)
+			if improved {
+				active++
+			} else {
+				dontLook[c1] = true
+			}
+		}
+	}
+	return t
+}
+
+// twoOptCity tries all 2-opt moves anchored at city c1 (both of its tour
+// edges against candidate edges to its near neighbours). Returns true if
+// an improving move was applied.
+func twoOptCity(in *tsplib.Instance, nl *NeighborLists, t tour.Tour, pos []int, dontLook []bool, c1 int) bool {
+	n := len(t)
+	for dir := 0; dir < 2; dir++ {
+		p1 := pos[c1]
+		var c2 int
+		if dir == 0 {
+			c2 = t[(p1+1)%n] // successor edge (c1,c2)
+		} else {
+			c2 = t[(p1-1+n)%n] // predecessor edge (c2,c1)
+		}
+		dC1C2 := in.Dist(c1, c2)
+		for _, c3i := range nl.Lists[c1] {
+			c3 := int(c3i)
+			if c3 == c2 {
+				continue
+			}
+			dC1C3 := in.Dist(c1, c3)
+			if dC1C3 >= dC1C2 {
+				break // neighbour list is sorted; no closer candidates left
+			}
+			p3 := pos[c3]
+			var c4 int
+			if dir == 0 {
+				c4 = t[(p3+1)%n]
+			} else {
+				c4 = t[(p3-1+n)%n]
+			}
+			if c4 == c1 {
+				continue
+			}
+			delta := dC1C3 + in.Dist(c2, c4) - dC1C2 - in.Dist(c3, c4)
+			if delta < -1e-9 {
+				applyTwoOpt(t, pos, p1, p3, dir)
+				dontLook[c1] = false
+				dontLook[c2] = false
+				dontLook[c3] = false
+				dontLook[c4] = false
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyTwoOpt reverses the tour segment between the two edges being
+// exchanged and refreshes the position index. dir selects whether the
+// exchanged edges are successor (0) or predecessor (1) edges.
+func applyTwoOpt(t tour.Tour, pos []int, p1, p3, dir int) {
+	n := len(t)
+	var i, j int
+	if dir == 0 {
+		i, j = p1+1, p3 // reverse (p1+1 .. p3)
+	} else {
+		i, j = p3, p1-1 // reverse (p3 .. p1-1)
+		if i < 0 {
+			i += n
+		}
+		if j < 0 {
+			j += n
+		}
+	}
+	if i > j {
+		// Reverse the complementary segment instead; same cycle.
+		i, j = (j+1)%n, (i-1+n)%n
+		if i > j {
+			i, j = 0, n-1
+		}
+	}
+	// Reverse the shorter side for speed.
+	inner := j - i + 1
+	if inner*2 <= n {
+		t.Reverse(i, j)
+		for k := i; k <= j; k++ {
+			pos[t[k]] = k
+		}
+		return
+	}
+	// Reverse outer segment (wrapping) by rotating indices.
+	outer := n - inner
+	for k := 0; k < outer/2; k++ {
+		a := (j + 1 + k) % n
+		b := (i - 1 - k + n) % n
+		t[a], t[b] = t[b], t[a]
+		pos[t[a]] = a
+		pos[t[b]] = b
+	}
+	if outer%2 == 1 {
+		mid := (j + 1 + outer/2) % n
+		pos[t[mid]] = mid
+	}
+}
+
+// OrOpt relocates segments of 1..3 consecutive cities to a better
+// position near one of their neighbours. Runs until no improving move or
+// maxPasses sweeps. The tour is modified in place and returned.
+func OrOpt(in *tsplib.Instance, nl *NeighborLists, t tour.Tour, maxPasses int) tour.Tour {
+	n := len(t)
+	if n < 5 {
+		return t
+	}
+	pass := 0
+	for {
+		pass++
+		if maxPasses > 0 && pass > maxPasses {
+			break
+		}
+		improved := false
+		pos := t.Positions()
+		for segLen := 1; segLen <= 3; segLen++ {
+			for start := 0; start < n; start++ {
+				if orOptMove(in, nl, t, pos, start, segLen) {
+					improved = true
+					pos = t.Positions()
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return t
+}
+
+// orOptMove tries to relocate the segment of segLen cities starting at
+// tour position start to follow one of the segment head's neighbours.
+func orOptMove(in *tsplib.Instance, nl *NeighborLists, t tour.Tour, pos []int, start, segLen int) bool {
+	n := len(t)
+	end := start + segLen - 1
+	if end >= n {
+		return false // keep segments non-wrapping for simplicity
+	}
+	prev := t[(start-1+n)%n]
+	next := t[(end+1)%n]
+	head := t[start]
+	tail := t[end]
+	if prev == tail || next == head {
+		return false
+	}
+	removed := in.Dist(prev, head) + in.Dist(tail, next) - in.Dist(prev, next)
+	if removed <= 1e-9 {
+		return false
+	}
+	for _, ci := range nl.Lists[head] {
+		c := int(ci)
+		pc := pos[c]
+		if pc >= start-1 && pc <= end+1 {
+			continue // insertion point inside or adjacent to the segment
+		}
+		after := t[(pc+1)%n]
+		if pos[after] >= start && pos[after] <= end {
+			continue
+		}
+		// Insert segment (possibly reversed) between c and after.
+		gainFwd := removed - (in.Dist(c, head) + in.Dist(tail, after) - in.Dist(c, after))
+		gainRev := removed - (in.Dist(c, tail) + in.Dist(head, after) - in.Dist(c, after))
+		if gainFwd > 1e-9 || gainRev > 1e-9 {
+			seg := make([]int, segLen)
+			copy(seg, t[start:end+1])
+			if gainRev > gainFwd {
+				for i, j := 0, segLen-1; i < j; i, j = i+1, j-1 {
+					seg[i], seg[j] = seg[j], seg[i]
+				}
+			}
+			rebuildWithSegment(t, start, segLen, pos[c], seg)
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildWithSegment removes t[start:start+segLen] and reinserts seg
+// after original tour position insertAfter (a position of the unmoved
+// city c). Positions are recomputed by the caller.
+func rebuildWithSegment(t tour.Tour, start, segLen, insertAfter int, seg []int) {
+	n := len(t)
+	rest := make([]int, 0, n-segLen)
+	// Walk the tour skipping the removed segment, remembering where the
+	// insertion city lands.
+	insertIdx := -1
+	for i := 0; i < n; i++ {
+		if i >= start && i < start+segLen {
+			continue
+		}
+		rest = append(rest, t[i])
+		if i == insertAfter {
+			insertIdx = len(rest) - 1
+		}
+	}
+	out := t[:0]
+	for i, c := range rest {
+		out = append(out, c)
+		if i == insertIdx {
+			out = append(out, seg...)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package heuristics implements classical TSP construction and
+// improvement heuristics. They serve three roles in the reproduction:
+//
+//   - the CPU reference solver whose tour length stands in for the
+//     "best-known solution" when computing optimal ratios on synthetic
+//     instances (the real TSPLIB optima do not apply to synthesized
+//     coordinates);
+//   - the classical baseline the paper's speedup claims compare against;
+//   - construction of initial tours for the annealers.
+//
+// All algorithms are deterministic for a given instance and seed.
+package heuristics
+
+import (
+	"sort"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/tsplib"
+)
+
+// NeighborLists holds, for each city, its K nearest neighbours sorted by
+// distance. Built with a uniform grid, so construction is close to
+// O(n·K) on the well-spread instances used here.
+type NeighborLists struct {
+	K     int
+	Lists [][]int32
+}
+
+// BuildNeighbors computes k-nearest-neighbour lists for the instance.
+// k is clamped to n-1.
+func BuildNeighbors(in *tsplib.Instance, k int) *NeighborLists {
+	n := in.N()
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	g := newGrid(in.Cities)
+	nl := &NeighborLists{K: k, Lists: make([][]int32, n)}
+	type cand struct {
+		idx int32
+		d   float64
+	}
+	for i := 0; i < n; i++ {
+		var cands []cand
+		// Expand rings of grid cells until we have comfortably more than
+		// k candidates, then sort and cut.
+		for ring := 0; ; ring++ {
+			added := g.ring(in.Cities[i], ring, func(j int) {
+				if j != i {
+					cands = append(cands, cand{int32(j), geom.Exact.Dist(in.Cities[i], in.Cities[j])})
+				}
+			})
+			if len(cands) >= k+ring && (len(cands) >= 3*k || !added) {
+				// One extra ring to guarantee correctness near cell
+				// boundaries: points in the next ring can be closer than
+				// the farthest candidate found so far.
+				g.ring(in.Cities[i], ring+1, func(j int) {
+					if j != i {
+						cands = append(cands, cand{int32(j), geom.Exact.Dist(in.Cities[i], in.Cities[j])})
+					}
+				})
+				break
+			}
+			if !added && ring > g.maxRing() {
+				break
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		m := k
+		if m > len(cands) {
+			m = len(cands)
+		}
+		list := make([]int32, m)
+		for j := 0; j < m; j++ {
+			list[j] = cands[j].idx
+		}
+		nl.Lists[i] = list
+	}
+	return nl
+}
+
+// grid is a uniform spatial hash over the instance bounding box.
+type grid struct {
+	pts        []geom.Point
+	bbox       geom.BBox
+	cellsX     int
+	cellsY     int
+	cellW      float64
+	cellH      float64
+	cellStarts []int32
+	cellItems  []int32
+}
+
+func newGrid(pts []geom.Point) *grid {
+	n := len(pts)
+	b := geom.Bounds(pts)
+	// Aim for ~2 points per cell.
+	cells := n/2 + 1
+	aspect := 1.0
+	if b.Height() > 0 && b.Width() > 0 {
+		aspect = b.Width() / b.Height()
+	}
+	cy := 1
+	for cy*cy < cells {
+		cy++
+	}
+	cx := int(float64(cy) * aspect)
+	if cx < 1 {
+		cx = 1
+	}
+	for cx*cy > 4*cells {
+		cx /= 2
+		if cx < 1 {
+			cx = 1
+			break
+		}
+	}
+	g := &grid{pts: pts, bbox: b, cellsX: cx, cellsY: cy}
+	g.cellW = b.Width() / float64(cx)
+	g.cellH = b.Height() / float64(cy)
+	if g.cellW == 0 {
+		g.cellW = 1
+	}
+	if g.cellH == 0 {
+		g.cellH = 1
+	}
+	counts := make([]int32, cx*cy+1)
+	cellOf := make([]int32, n)
+	for i, p := range pts {
+		c := int32(g.cellIndex(p))
+		cellOf[i] = c
+		counts[c+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	g.cellStarts = counts
+	g.cellItems = make([]int32, n)
+	fill := make([]int32, cx*cy)
+	for i := 0; i < n; i++ {
+		c := cellOf[i]
+		g.cellItems[counts[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+	return g
+}
+
+func (g *grid) cellIndex(p geom.Point) int {
+	ix := int((p.X - g.bbox.MinX) / g.cellW)
+	iy := int((p.Y - g.bbox.MinY) / g.cellH)
+	if ix >= g.cellsX {
+		ix = g.cellsX - 1
+	}
+	if iy >= g.cellsY {
+		iy = g.cellsY - 1
+	}
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	return iy*g.cellsX + ix
+}
+
+func (g *grid) maxRing() int {
+	if g.cellsX > g.cellsY {
+		return g.cellsX
+	}
+	return g.cellsY
+}
+
+// ring visits all points in grid cells at Chebyshev distance exactly r
+// from p's cell. Returns false when the ring lies entirely outside the
+// grid.
+func (g *grid) ring(p geom.Point, r int, visit func(j int)) bool {
+	ci := g.cellIndex(p)
+	cx0, cy0 := ci%g.cellsX, ci/g.cellsX
+	any := false
+	visitCell := func(x, y int) {
+		if x < 0 || x >= g.cellsX || y < 0 || y >= g.cellsY {
+			return
+		}
+		any = true
+		c := y*g.cellsX + x
+		for _, j := range g.cellItems[g.cellStarts[c]:g.cellStarts[c+1]] {
+			visit(int(j))
+		}
+	}
+	if r == 0 {
+		visitCell(cx0, cy0)
+		return any
+	}
+	for x := cx0 - r; x <= cx0+r; x++ {
+		visitCell(x, cy0-r)
+		visitCell(x, cy0+r)
+	}
+	for y := cy0 - r + 1; y <= cy0+r-1; y++ {
+		visitCell(cx0-r, y)
+		visitCell(cx0+r, y)
+	}
+	return any
+}

@@ -1,0 +1,86 @@
+package heuristics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cimsa/internal/tsplib"
+)
+
+// TestPropertyTwoOptNeverWorsens: across random instances and starting
+// tours, 2-opt output length <= input length, and the result is valid.
+func TestPropertyTwoOptNeverWorsens(t *testing.T) {
+	f := func(nRaw uint16, seed uint8) bool {
+		n := int(nRaw%300) + 10
+		in := tsplib.Generate("prop-2opt", n, tsplib.StyleUniform, uint64(seed))
+		nl := BuildNeighbors(in, 8)
+		start := SpaceFilling(in)
+		before := start.Length(in)
+		out := TwoOpt(in, nl, start, 0)
+		if err := out.Validate(n); err != nil {
+			return false
+		}
+		return out.Length(in) <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOrOptNeverWorsens: same contract for Or-opt.
+func TestPropertyOrOptNeverWorsens(t *testing.T) {
+	f := func(nRaw uint16, seed uint8) bool {
+		n := int(nRaw%200) + 10
+		in := tsplib.Generate("prop-oropt", n, tsplib.StyleClustered, uint64(seed))
+		nl := BuildNeighbors(in, 8)
+		start := NearestNeighbor(in, nl, 0)
+		before := start.Length(in)
+		out := OrOpt(in, nl, start, 2)
+		if err := out.Validate(n); err != nil {
+			return false
+		}
+		return out.Length(in) <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConstructorsValid: every constructor yields a permutation
+// on arbitrary instances.
+func TestPropertyConstructorsValid(t *testing.T) {
+	f := func(nRaw uint16, styleSel, seed uint8) bool {
+		styles := []tsplib.Style{tsplib.StyleUniform, tsplib.StylePCB, tsplib.StyleGeographic}
+		n := int(nRaw%400) + 5
+		in := tsplib.Generate("prop-cons", n, styles[int(styleSel)%3], uint64(seed))
+		nl := BuildNeighbors(in, 6)
+		for _, tr := range []interface{ Validate(int) error }{
+			NearestNeighbor(in, nl, int(seed)%n),
+			GreedyEdge(in, nl),
+			SpaceFilling(in),
+		} {
+			if err := tr.Validate(n); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLowerBoundHolds: the 1-tree bound never exceeds any valid
+// tour's length (tested against the reference tour).
+func TestPropertyLowerBoundHolds(t *testing.T) {
+	f := func(nRaw uint16, seed uint8) bool {
+		n := int(nRaw%150) + 8
+		in := tsplib.Generate("prop-lb", n, tsplib.StyleUniform, uint64(seed))
+		lb := OneTreeLowerBound(in)
+		_, ref := Reference(in)
+		return lb <= ref+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

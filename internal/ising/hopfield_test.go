@@ -1,0 +1,146 @@
+package ising
+
+import (
+	"testing"
+
+	"cimsa/internal/rng"
+)
+
+func ferromagnet(n int) *Model {
+	m := NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetJ(i, j, 1)
+		}
+	}
+	return m
+}
+
+func TestHopfieldRejectsInvalidModel(t *testing.T) {
+	m := NewModel(3)
+	m.J[0][1] = 1 // asymmetric on purpose
+	if _, err := NewHopfield(m); err == nil {
+		t.Fatal("asymmetric model accepted")
+	}
+}
+
+func TestHopfieldAsyncEnergyNonIncreasing(t *testing.T) {
+	r := rng.New(1)
+	m := NewModel(12)
+	for i := 0; i < 12; i++ {
+		m.H[i] = r.NormFloat64()
+		for j := i + 1; j < 12; j++ {
+			m.SetJ(i, j, r.NormFloat64())
+		}
+	}
+	h, err := NewHopfield(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]int8, 12)
+	for i := range state {
+		if r.Bool() {
+			state[i] = 1
+		} else {
+			state[i] = -1
+		}
+	}
+	prev := h.Energy(state)
+	for step := 0; step < 200; step++ {
+		i := r.Intn(12)
+		h.StepAsync(state, i)
+		cur := h.Energy(state)
+		if cur > prev+1e-9 {
+			t.Fatalf("async update raised energy %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestHopfieldConvergesToFixedPoint(t *testing.T) {
+	m := ferromagnet(10)
+	h, err := NewHopfield(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []int8{1, -1, 1, -1, 1, -1, 1, -1, 1, 1}
+	sweeps := h.RunAsync(state, 100)
+	if sweeps >= 100 {
+		t.Fatal("did not converge within 100 sweeps")
+	}
+	// Ferromagnet fixed point: all aligned (majority wins: six +1s).
+	for i, s := range state {
+		if s != 1 {
+			t.Fatalf("neuron %d = %d after convergence", i, s)
+		}
+	}
+	// Converged state is a fixed point of further sweeps.
+	if h.StepSync(state) != 0 {
+		t.Fatal("fixed point moved under sync step")
+	}
+}
+
+func TestHopfieldZeroFieldKeepsState(t *testing.T) {
+	m := NewModel(2) // no couplings, no fields: every state is fixed
+	h, err := NewHopfield(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []int8{1, -1}
+	if h.StepAsync(state, 0) || h.StepAsync(state, 1) {
+		t.Fatal("zero-field neuron flipped")
+	}
+	if h.StepSync(state) != 0 {
+		t.Fatal("zero-field sync step changed state")
+	}
+}
+
+func TestHopfieldSyncCountsChanges(t *testing.T) {
+	m := ferromagnet(5)
+	h, err := NewHopfield(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []int8{1, 1, 1, -1, -1} // majority +1: the two -1 flip
+	changed := h.StepSync(state)
+	if changed != 2 {
+		t.Fatalf("sync changed %d neurons, want 2", changed)
+	}
+}
+
+func TestHopfieldRecallsStoredPattern(t *testing.T) {
+	// Hebbian storage of one pattern: J_ij = ξ_i ξ_j. The network must
+	// recall the pattern from a corrupted version.
+	pattern := []int8{1, -1, 1, 1, -1, -1, 1, -1}
+	n := len(pattern)
+	m := NewModel(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetJ(i, j, float64(pattern[i])*float64(pattern[j]))
+		}
+	}
+	h, err := NewHopfield(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt two neurons.
+	state := append([]int8(nil), pattern...)
+	state[0] = -state[0]
+	state[5] = -state[5]
+	h.RunAsync(state, 50)
+	for i := range pattern {
+		if state[i] != pattern[i] {
+			t.Fatalf("recall failed at neuron %d", i)
+		}
+	}
+}
+
+func TestHopfieldNMatchesModel(t *testing.T) {
+	h, err := NewHopfield(ferromagnet(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+}

@@ -1,0 +1,200 @@
+// Package noise implements the noisy SRAM weight fabric (§IV of the
+// paper): every stored weight bit lives in a physical cell whose process
+// mismatch gives it a fixed "preferred" value and a fixed vulnerability.
+// During a pseudo-read at reduced V_DD, vulnerable cells return their
+// preferred value instead of the written one. The error pattern is
+// purely spatial — rerunning at the same V_DD yields the same pattern —
+// and becomes temporal noise only because the annealer addresses
+// different cells on different cycles (the paper's key conversion).
+//
+// The fabric is virtual: a cell's (preference, vulnerability) pair is
+// derived from a hash of its identifier, so a 46 Mb array costs no
+// memory. Vulnerability is calibrated against the device package's
+// Monte Carlo error-rate model: the marginal error rate over random
+// stored data equals ErrorModel.Rate(vdd).
+package noise
+
+import (
+	"fmt"
+
+	"cimsa/internal/device"
+	"cimsa/internal/fixed"
+)
+
+// Fabric is a virtual sea of SRAM cells with frozen process variation.
+type Fabric struct {
+	// Model converts a supply voltage to a pseudo-read error rate.
+	Model device.ErrorModel
+	// Seed selects the fabricated chip; two fabrics with the same seed
+	// have identical variation maps.
+	Seed uint64
+}
+
+// NewFabric builds a fabric over the default 16 nm error model.
+func NewFabric(seed uint64) *Fabric {
+	return &Fabric{Model: device.DefaultErrorModel(), Seed: seed}
+}
+
+// cellHash gives the cell's fabrication fingerprint: 64 stable bits.
+func (f *Fabric) cellHash(cellID uint64) uint64 {
+	x := cellID ^ f.Seed*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// CellState reports whether the cell is vulnerable at supply vdd and
+// which bit value it prefers. Vulnerability is monotone: a cell
+// vulnerable at some V_DD stays vulnerable at every lower V_DD.
+func (f *Fabric) CellState(cellID uint64, vdd float64) (vulnerable bool, preferred uint8) {
+	h := f.cellHash(cellID)
+	preferred = uint8(h & 1)
+	// 53 uniform bits -> u in [0,1). Error rate = P(vulnerable)/2 over
+	// random data, so the vulnerability probability is 2*rate, capped.
+	u := float64(h>>11) / (1 << 53)
+	p := 2 * f.Model.Rate(vdd)
+	if p > 1 {
+		p = 1
+	}
+	return u < p, preferred
+}
+
+// ReadBit returns the value observed when pseudo-reading a cell that was
+// written with `stored` at supply vdd.
+func (f *Fabric) ReadBit(cellID uint64, stored uint8, vdd float64) uint8 {
+	vulnerable, preferred := f.CellState(cellID, vdd)
+	if vulnerable {
+		return preferred
+	}
+	return stored
+}
+
+// ApplyToCode pseudo-reads an 8-bit weight whose bit b lives in cell
+// baseCellID + b. Only the nLSB least significant bit planes operate at
+// the reduced vdd; the remaining MSBs run at nominal supply and read
+// back clean (the paper's MSB/LSB split placement, Fig. 5c).
+func (f *Fabric) ApplyToCode(code uint8, baseCellID uint64, vdd float64, nLSB int) uint8 {
+	if nLSB <= 0 {
+		return code
+	}
+	if nLSB > fixed.Bits {
+		nLSB = fixed.Bits
+	}
+	out := code
+	for b := 0; b < nLSB; b++ {
+		out = fixed.SetBit(out, b, f.ReadBit(baseCellID+uint64(b), fixed.Bit(code, b), vdd))
+	}
+	return out
+}
+
+// CellID composes a unique cell identifier from a window index, a
+// position within the window, and a bit plane, so every physical bit in
+// the chip has a stable address.
+func CellID(window, row, col, bit int) uint64 {
+	return uint64(window)<<32 | uint64(row)<<20 | uint64(col)<<8 | uint64(bit)
+}
+
+// Schedule is the paper's annealing schedule (§V): epochs of EpochIters
+// iterations; each epoch writes the clean weights back, raises V_DD by
+// VDDStep and reduces the number of noisy LSBs by one.
+type Schedule struct {
+	// VDDStart is the supply for epoch 0 (V).
+	VDDStart float64
+	// VDDStep is the increment per epoch (V).
+	VDDStep float64
+	// Epochs is the number of epochs.
+	Epochs int
+	// EpochIters is the number of update iterations per epoch (the
+	// write-back period).
+	EpochIters int
+	// StartLSBs is the number of noisy LSBs in epoch 0.
+	StartLSBs int
+	// FixedLSBs keeps the noisy-LSB count at StartLSBs for every epoch
+	// instead of shrinking it by one per epoch (the V_DD-only ablation).
+	FixedLSBs bool
+}
+
+// PaperSchedule returns the evaluation settings of §V: V_DD from 300 mV
+// to 580 mV in 40 mV increments every 50 iterations (8 epochs, 400
+// iterations), starting with 6 noisy LSBs out of 8.
+func PaperSchedule() Schedule {
+	return Schedule{
+		VDDStart:   0.30,
+		VDDStep:    0.04,
+		Epochs:     8,
+		EpochIters: 50,
+		StartLSBs:  6,
+	}
+}
+
+// Validate checks the schedule parameters.
+func (s Schedule) Validate() error {
+	if s.Epochs < 1 || s.EpochIters < 1 {
+		return fmt.Errorf("noise: schedule needs >= 1 epoch and >= 1 iteration, got %d/%d", s.Epochs, s.EpochIters)
+	}
+	if s.VDDStart <= 0 || s.VDDStep < 0 {
+		return fmt.Errorf("noise: bad voltage parameters %v/%v", s.VDDStart, s.VDDStep)
+	}
+	if s.StartLSBs < 0 || s.StartLSBs > fixed.Bits {
+		return fmt.Errorf("noise: StartLSBs %d out of range", s.StartLSBs)
+	}
+	return nil
+}
+
+// TotalIters returns the total iteration count of the schedule.
+func (s Schedule) TotalIters() int { return s.Epochs * s.EpochIters }
+
+// Epoch returns the epoch index for an iteration, clamped to the last
+// epoch for iterations beyond the schedule.
+func (s Schedule) Epoch(iter int) int {
+	e := iter / s.EpochIters
+	if e >= s.Epochs {
+		e = s.Epochs - 1
+	}
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// At returns the supply voltage and noisy-LSB count for an iteration.
+func (s Schedule) At(iter int) (vdd float64, nLSB int) {
+	e := s.Epoch(iter)
+	vdd = s.VDDStart + float64(e)*s.VDDStep
+	if s.FixedLSBs {
+		return vdd, s.StartLSBs
+	}
+	nLSB = s.StartLSBs - e
+	if nLSB < 0 {
+		nLSB = 0
+	}
+	return
+}
+
+// NoNoise returns a schedule whose single epoch applies no noise at all;
+// with it the annealer degenerates to greedy descent (used by ablations).
+func NoNoise(iters int) Schedule {
+	return Schedule{VDDStart: device.NominalVDD, VDDStep: 0, Epochs: 1, EpochIters: iters, StartLSBs: 0}
+}
+
+// CalibrateFabric runs the device Monte Carlo for the given cell
+// parameters, fits the error-rate sigmoid and returns a fabric driven by
+// it — the full physics-to-annealer calibration pipeline. Use
+// NewFabric for the pre-committed 16 nm model; use this when exploring
+// different cell designs (e.g. other mismatch corners or bit-line
+// capacitances).
+func CalibrateFabric(p device.CellParams, samples int, seed uint64) (*Fabric, error) {
+	if samples < 50 {
+		return nil, fmt.Errorf("noise: need >= 50 Monte Carlo samples, got %d", samples)
+	}
+	vdds := device.SweepVDD(0.04)
+	rates := device.ErrorRateCurve(p, vdds, samples, seed)
+	model, err := device.FitSigmoid(vdds, rates)
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{Model: model, Seed: seed}, nil
+}

@@ -1,0 +1,122 @@
+// Package tour represents closed TSP tours and their basic operations:
+// length evaluation, validity checking and canonicalization.
+package tour
+
+import (
+	"fmt"
+
+	"cimsa/internal/tsplib"
+)
+
+// Tour is a cyclic permutation of city indices: Tour[i] is the i-th city
+// visited; the tour closes from the last city back to the first.
+type Tour []int
+
+// New returns the identity tour over n cities.
+func New(n int) Tour {
+	t := make(Tour, n)
+	for i := range t {
+		t[i] = i
+	}
+	return t
+}
+
+// Clone returns a copy of the tour.
+func (t Tour) Clone() Tour {
+	c := make(Tour, len(t))
+	copy(c, t)
+	return c
+}
+
+// Length returns the closed tour length under the instance's metric.
+func (t Tour) Length(in *tsplib.Instance) float64 {
+	if len(t) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(t); i++ {
+		sum += in.Dist(t[i-1], t[i])
+	}
+	sum += in.Dist(t[len(t)-1], t[0])
+	return sum
+}
+
+// Validate checks that t is a permutation of [0, n).
+func (t Tour) Validate(n int) error {
+	if len(t) != n {
+		return fmt.Errorf("tour: length %d, want %d", len(t), n)
+	}
+	seen := make([]bool, n)
+	for i, c := range t {
+		if c < 0 || c >= n {
+			return fmt.Errorf("tour: position %d holds out-of-range city %d", i, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("tour: city %d visited more than once", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// Canonical returns the tour rotated so city 0 comes first and oriented
+// so the second city has the smaller index of the two neighbours of city
+// 0. Two tours describe the same cycle iff their canonical forms are
+// equal.
+func (t Tour) Canonical() Tour {
+	n := len(t)
+	if n == 0 {
+		return Tour{}
+	}
+	start := 0
+	for i, c := range t {
+		if c == 0 {
+			start = i
+			break
+		}
+	}
+	out := make(Tour, n)
+	for i := 0; i < n; i++ {
+		out[i] = t[(start+i)%n]
+	}
+	if n > 2 && out[1] > out[n-1] {
+		// Reverse orientation, keeping city 0 first.
+		for i, j := 1, n-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// Equal reports whether two tours describe the same cycle (up to rotation
+// and reversal).
+func Equal(a, b Tour) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca, cb := a.Canonical(), b.Canonical()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse reverses the tour segment [i, j] in place (inclusive bounds).
+func (t Tour) Reverse(i, j int) {
+	for i < j {
+		t[i], t[j] = t[j], t[i]
+		i++
+		j--
+	}
+}
+
+// Positions returns the inverse permutation: pos[city] = index in tour.
+func (t Tour) Positions() []int {
+	pos := make([]int, len(t))
+	for i, c := range t {
+		pos[c] = i
+	}
+	return pos
+}

@@ -1,0 +1,303 @@
+package tsplib
+
+import (
+	"fmt"
+	"strings"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/rng"
+)
+
+// Style selects the spatial statistics of a synthetic instance. The
+// styles mimic the TSPLIB families used in the paper's evaluation.
+type Style int
+
+const (
+	// StyleUniform scatters cities uniformly in a square.
+	StyleUniform Style = iota
+	// StylePCB mimics printed-circuit-board drilling instances (pcb*):
+	// cities snap to a fine grid and concentrate in rectangular component
+	// footprints connected by sparse routing rows.
+	StylePCB
+	// StyleClustered mimics rl* instances: dense Gaussian blobs of widely
+	// varying size over a large board.
+	StyleClustered
+	// StyleGeographic mimics usa*/d*/brd* road instances: population
+	// centers along corridors plus diffuse background.
+	StyleGeographic
+	// StylePLA mimics pla* programmed-logic-array instances: huge regular
+	// grids with row/column gaps.
+	StylePLA
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleUniform:
+		return "uniform"
+	case StylePCB:
+		return "pcb"
+	case StyleClustered:
+		return "clustered"
+	case StyleGeographic:
+		return "geographic"
+	case StylePLA:
+		return "pla"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// StyleForName infers the generation style from a TSPLIB instance name
+// prefix ("pcb3038" -> StylePCB, "rl5915" -> StyleClustered, ...).
+func StyleForName(name string) Style {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(lower, "pcb"):
+		return StylePCB
+	case strings.HasPrefix(lower, "rl"):
+		return StyleClustered
+	case strings.HasPrefix(lower, "pla"):
+		return StylePLA
+	case strings.HasPrefix(lower, "usa"), strings.HasPrefix(lower, "d"),
+		strings.HasPrefix(lower, "brd"), strings.HasPrefix(lower, "sw"):
+		return StyleGeographic
+	default:
+		return StyleUniform
+	}
+}
+
+// Generate produces a deterministic synthetic instance of n cities in the
+// given style. The same (name, n, style, seed) always yields the same
+// instance. The metric is EUC_2D, matching the paper's workloads.
+func Generate(name string, n int, style Style, seed uint64) *Instance {
+	if n < 3 {
+		panic(fmt.Sprintf("tsplib: Generate with n=%d", n))
+	}
+	r := rng.New(seed ^ hashName(name))
+	var pts []geom.Point
+	switch style {
+	case StyleUniform:
+		pts = genUniform(r, n)
+	case StylePCB:
+		pts = genPCB(r, n)
+	case StyleClustered:
+		pts = genClustered(r, n)
+	case StyleGeographic:
+		pts = genGeographic(r, n)
+	case StylePLA:
+		pts = genPLA(r, n)
+	default:
+		panic("tsplib: unknown style")
+	}
+	return &Instance{
+		Name:    name,
+		Comment: fmt.Sprintf("synthetic %s-style instance, n=%d, seed=%d", style, n, seed),
+		Metric:  geom.Euclid2D,
+		Cities:  pts,
+	}
+}
+
+// hashName gives a stable 64-bit hash of the instance name (FNV-1a).
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// side returns a board dimension that keeps average nearest-neighbour
+// spacing roughly constant as n grows, like real TSPLIB families.
+func side(n int) float64 {
+	s := 100.0
+	for m := n; m > 100; m /= 4 {
+		s *= 2
+	}
+	return s
+}
+
+func genUniform(r *rng.Rand, n int) []geom.Point {
+	s := side(n)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * s, Y: r.Float64() * s}
+	}
+	return pts
+}
+
+func genPCB(r *rng.Rand, n int) []geom.Point {
+	s := side(n)
+	const grid = 0.5 // drill grid pitch
+	// Component footprints: rectangles holding ~85% of the holes.
+	nComp := 4 + n/120
+	type rect struct{ x, y, w, h float64 }
+	comps := make([]rect, nComp)
+	for i := range comps {
+		comps[i] = rect{
+			x: r.Float64() * s * 0.9,
+			y: r.Float64() * s * 0.9,
+			w: (0.02 + 0.08*r.Float64()) * s,
+			h: (0.01 + 0.05*r.Float64()) * s,
+		}
+	}
+	pts := make([]geom.Point, 0, n)
+	seen := make(map[[2]int64]bool, n)
+	snap := func(x, y float64) (geom.Point, bool) {
+		gx := int64(x / grid)
+		gy := int64(y / grid)
+		key := [2]int64{gx, gy}
+		if seen[key] {
+			return geom.Point{}, false
+		}
+		seen[key] = true
+		return geom.Point{X: float64(gx) * grid, Y: float64(gy) * grid}, true
+	}
+	for len(pts) < n {
+		var x, y float64
+		if r.Float64() < 0.85 {
+			c := comps[r.Intn(nComp)]
+			// Holes cluster along component pin rows.
+			row := float64(r.Intn(4))
+			x = c.x + r.Float64()*c.w
+			y = c.y + row/4*c.h + r.Float64()*c.h*0.1
+		} else {
+			x = r.Float64() * s
+			y = r.Float64() * s
+		}
+		if p, ok := snap(x, y); ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func genClustered(r *rng.Rand, n int) []geom.Point {
+	s := side(n)
+	nBlobs := 3 + n/400
+	type blob struct {
+		cx, cy, sd float64
+		weight     float64
+	}
+	blobs := make([]blob, nBlobs)
+	var totalW float64
+	for i := range blobs {
+		w := r.Float64()*r.Float64() + 0.05 // skewed sizes
+		blobs[i] = blob{
+			cx:     r.Float64() * s,
+			cy:     r.Float64() * s,
+			sd:     (0.005 + 0.04*r.Float64()) * s,
+			weight: w,
+		}
+		totalW += w
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// Pick a blob proportionally to weight; 5% background noise.
+		if r.Float64() < 0.05 {
+			pts[i] = geom.Point{X: r.Float64() * s, Y: r.Float64() * s}
+			continue
+		}
+		target := r.Float64() * totalW
+		var acc float64
+		b := blobs[len(blobs)-1]
+		for _, cand := range blobs {
+			acc += cand.weight
+			if target <= acc {
+				b = cand
+				break
+			}
+		}
+		pts[i] = geom.Point{
+			X: clamp(b.cx+r.NormFloat64()*b.sd, 0, s),
+			Y: clamp(b.cy+r.NormFloat64()*b.sd, 0, s),
+		}
+	}
+	return pts
+}
+
+func genGeographic(r *rng.Rand, n int) []geom.Point {
+	s := side(n)
+	// Corridors: piecewise-linear "highways" between random anchor towns.
+	nAnchors := 6 + n/2000
+	anchors := make([]geom.Point, nAnchors)
+	for i := range anchors {
+		anchors[i] = geom.Point{X: r.Float64() * s, Y: r.Float64() * s}
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		switch {
+		case r.Float64() < 0.45: // town cluster around an anchor
+			a := anchors[r.Intn(nAnchors)]
+			sd := 0.015 * s
+			pts[i] = geom.Point{
+				X: clamp(a.X+r.NormFloat64()*sd, 0, s),
+				Y: clamp(a.Y+r.NormFloat64()*sd, 0, s),
+			}
+		case r.Float64() < 0.7: // along a corridor between two anchors
+			a := anchors[r.Intn(nAnchors)]
+			b := anchors[r.Intn(nAnchors)]
+			t := r.Float64()
+			sd := 0.008 * s
+			pts[i] = geom.Point{
+				X: clamp(a.X+t*(b.X-a.X)+r.NormFloat64()*sd, 0, s),
+				Y: clamp(a.Y+t*(b.Y-a.Y)+r.NormFloat64()*sd, 0, s),
+			}
+		default: // diffuse background
+			pts[i] = geom.Point{X: r.Float64() * s, Y: r.Float64() * s}
+		}
+	}
+	return pts
+}
+
+func genPLA(r *rng.Rand, n int) []geom.Point {
+	// Regular grid with randomly deleted rows/columns and per-site
+	// survival probability, like programmed-logic-array masks.
+	cols := 1
+	for cols*cols < n*2 {
+		cols++
+	}
+	rows := cols
+	keepRow := make([]bool, rows)
+	keepCol := make([]bool, cols)
+	for i := range keepRow {
+		keepRow[i] = r.Float64() < 0.85
+	}
+	for i := range keepCol {
+		keepCol[i] = r.Float64() < 0.85
+	}
+	pitch := 2.0
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		for y := 0; y < rows && len(pts) < n; y++ {
+			if !keepRow[y] {
+				continue
+			}
+			for x := 0; x < cols && len(pts) < n; x++ {
+				if !keepCol[x] || r.Float64() > 0.7 {
+					continue
+				}
+				pts = append(pts, geom.Point{X: float64(x) * pitch, Y: float64(y) * pitch})
+			}
+		}
+		// If deletions were too aggressive to reach n, relax.
+		for i := range keepRow {
+			keepRow[i] = true
+		}
+		for i := range keepCol {
+			keepCol[i] = true
+		}
+	}
+	return pts[:n]
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,114 @@
+package tsplib
+
+import (
+	"math"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/rng"
+)
+
+// mdsEmbed recovers 2-D coordinates from a full symmetric distance
+// matrix with classical multidimensional scaling: double-center the
+// squared distances, extract the top two eigenpairs by power iteration
+// with deflation, and scale the eigenvectors by sqrt(eigenvalue). For
+// (approximately) planar-Euclidean data the layout is recovered up to
+// rotation and reflection — which is all the hierarchical clustering
+// needs, since it only consumes relative positions.
+func mdsEmbed(d [][]float64) []geom.Point {
+	n := len(d)
+	// B = -1/2 * J * D2 * J with J = I - 11ᵀ/n (double centering).
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sq := d[i][j] * d[i][j]
+			rowMean[i] += sq
+			total += sq
+		}
+		rowMean[i] /= float64(n)
+	}
+	total /= float64(n * n)
+	b := make([][]float64, n)
+	for i := range b {
+		b[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			sq := d[i][j] * d[i][j]
+			b[i][j] = -0.5 * (sq - rowMean[i] - rowMean[j] + total)
+		}
+	}
+	v1, l1 := powerIteration(b, 1)
+	deflate(b, v1, l1)
+	v2, l2 := powerIteration(b, 2)
+	pts := make([]geom.Point, n)
+	s1 := math.Sqrt(math.Max(l1, 0))
+	s2 := math.Sqrt(math.Max(l2, 0))
+	for i := range pts {
+		pts[i] = geom.Point{X: v1[i] * s1, Y: v2[i] * s2}
+	}
+	return pts
+}
+
+// powerIteration finds the dominant eigenpair of the symmetric matrix b.
+func powerIteration(b [][]float64, seed uint64) ([]float64, float64) {
+	n := len(b)
+	r := rng.New(seed * 7919)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64() - 0.5
+	}
+	normalize(v)
+	tmp := make([]float64, n)
+	lambda := 0.0
+	for iter := 0; iter < 300; iter++ {
+		matVec(b, v, tmp)
+		newLambda := dot(v, tmp)
+		normalize(tmp)
+		copy(v, tmp)
+		if math.Abs(newLambda-lambda) < 1e-9*(math.Abs(newLambda)+1) {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	return v, lambda
+}
+
+// deflate removes the eigenpair from b in place: b -= λ v vᵀ.
+func deflate(b [][]float64, v []float64, lambda float64) {
+	n := len(b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[i][j] -= lambda * v[i] * v[j]
+		}
+	}
+}
+
+func matVec(b [][]float64, v, out []float64) {
+	for i := range b {
+		var s float64
+		row := b[i]
+		for j, vj := range v {
+			s += row[j] * vj
+		}
+		out[i] = s
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

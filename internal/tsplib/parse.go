@@ -1,0 +1,360 @@
+package tsplib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cimsa/internal/geom"
+)
+
+// weightFormat enumerates the supported EDGE_WEIGHT_FORMAT layouts.
+type weightFormat int
+
+const (
+	formatNone weightFormat = iota
+	formatFullMatrix
+	formatUpperRow
+	formatLowerRow
+	formatUpperDiagRow
+	formatLowerDiagRow
+)
+
+func parseWeightFormat(s string) (weightFormat, error) {
+	switch s {
+	case "FULL_MATRIX":
+		return formatFullMatrix, nil
+	case "UPPER_ROW":
+		return formatUpperRow, nil
+	case "LOWER_ROW":
+		return formatLowerRow, nil
+	case "UPPER_DIAG_ROW":
+		return formatUpperDiagRow, nil
+	case "LOWER_DIAG_ROW":
+		return formatLowerDiagRow, nil
+	default:
+		return formatNone, fmt.Errorf("tsplib: unsupported EDGE_WEIGHT_FORMAT %q", s)
+	}
+}
+
+// entryCount returns how many numbers the format needs for n cities.
+func (f weightFormat) entryCount(n int) int {
+	switch f {
+	case formatFullMatrix:
+		return n * n
+	case formatUpperRow, formatLowerRow:
+		return n * (n - 1) / 2
+	case formatUpperDiagRow, formatLowerDiagRow:
+		return n * (n + 1) / 2
+	default:
+		return 0
+	}
+}
+
+// section identifies which data block the parser is inside.
+type section int
+
+const (
+	secNone section = iota
+	secCoords
+	secWeights
+	secDisplay
+)
+
+// Parse reads a TSPLIB95 .tsp file from r. Supported TYPE is TSP with
+// either NODE_COORD_SECTION (EDGE_WEIGHT_TYPE in {EUC_2D, CEIL_2D, GEO,
+// ATT}) or EDGE_WEIGHT_TYPE EXPLICIT with an EDGE_WEIGHT_SECTION in
+// FULL_MATRIX / UPPER_ROW / LOWER_ROW / UPPER_DIAG_ROW / LOWER_DIAG_ROW
+// format. Explicit instances use DISPLAY_DATA_SECTION coordinates when
+// present and otherwise recover a 2-D embedding of the matrix with
+// classical MDS so geometric algorithms still apply; distances always
+// come from the matrix.
+func Parse(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	in := &Instance{Metric: geom.Euclid2D}
+	declaredDim := -1
+	explicit := false
+	format := formatNone
+	coords := map[int]geom.Point{}
+	display := map[int]geom.Point{}
+	var weights []float64
+	cur := secNone
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		if upper == "EOF" {
+			break
+		}
+		if cur != secNone && !strings.Contains(line, ":") && !isSectionHeader(upper) {
+			switch cur {
+			case secCoords, secDisplay:
+				id, pt, err := parseCoordLine(line)
+				if err != nil {
+					return nil, err
+				}
+				target := coords
+				if cur == secDisplay {
+					target = display
+				}
+				if _, dup := target[id]; dup {
+					return nil, fmt.Errorf("tsplib: duplicate node id %d", id)
+				}
+				target[id] = pt
+			case secWeights:
+				for _, field := range strings.Fields(line) {
+					v, err := strconv.ParseFloat(field, 64)
+					if err != nil {
+						return nil, fmt.Errorf("tsplib: bad weight %q: %v", field, err)
+					}
+					weights = append(weights, v)
+				}
+			}
+			continue
+		}
+		cur = secNone
+		switch {
+		case strings.HasPrefix(upper, "NAME"):
+			in.Name = keywordValue(line)
+		case strings.HasPrefix(upper, "COMMENT"):
+			if in.Comment != "" {
+				in.Comment += " "
+			}
+			in.Comment += keywordValue(line)
+		case strings.HasPrefix(upper, "TYPE"):
+			v := strings.ToUpper(keywordValue(line))
+			if v != "TSP" {
+				return nil, fmt.Errorf("tsplib: unsupported TYPE %q (only TSP)", v)
+			}
+		case strings.HasPrefix(upper, "DIMENSION"):
+			d, err := strconv.Atoi(keywordValue(line))
+			if err != nil {
+				return nil, fmt.Errorf("tsplib: bad DIMENSION: %v", err)
+			}
+			declaredDim = d
+		case strings.HasPrefix(upper, "EDGE_WEIGHT_TYPE"):
+			v := strings.ToUpper(keywordValue(line))
+			if v == "EXPLICIT" {
+				explicit = true
+				in.Metric = geom.Exact
+				break
+			}
+			m, err := geom.ParseMetric(v)
+			if err != nil {
+				return nil, err
+			}
+			in.Metric = m
+		case strings.HasPrefix(upper, "EDGE_WEIGHT_FORMAT"):
+			f, err := parseWeightFormat(strings.ToUpper(keywordValue(line)))
+			if err != nil {
+				return nil, err
+			}
+			format = f
+		case strings.HasPrefix(upper, "DISPLAY_DATA_TYPE"):
+			// TWOD_DISPLAY implied by the section; ignored.
+		case upper == "NODE_COORD_SECTION":
+			cur = secCoords
+		case upper == "EDGE_WEIGHT_SECTION":
+			cur = secWeights
+		case upper == "DISPLAY_DATA_SECTION":
+			cur = secDisplay
+		case isSectionHeader(upper):
+			return nil, fmt.Errorf("tsplib: unsupported section %q", line)
+		default:
+			// Unknown keyword lines are ignored.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsplib: read: %w", err)
+	}
+	if explicit {
+		return assembleExplicit(in, declaredDim, format, weights, display)
+	}
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("tsplib: no NODE_COORD_SECTION data")
+	}
+	if declaredDim >= 0 && declaredDim != len(coords) {
+		return nil, fmt.Errorf("tsplib: DIMENSION %d but %d coordinates", declaredDim, len(coords))
+	}
+	in.Cities = coordsInOrder(coords)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// coordsInOrder flattens an id->point map into a 0-indexed slice sorted
+// by TSPLIB node id.
+func coordsInOrder(coords map[int]geom.Point) []geom.Point {
+	ids := make([]int, 0, len(coords))
+	for id := range coords {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		out[i] = coords[id]
+	}
+	return out
+}
+
+// assembleExplicit builds the instance from a weight list.
+func assembleExplicit(in *Instance, dim int, format weightFormat, weights []float64, display map[int]geom.Point) (*Instance, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("tsplib: EXPLICIT instance needs DIMENSION")
+	}
+	if format == formatNone {
+		return nil, fmt.Errorf("tsplib: EXPLICIT instance needs EDGE_WEIGHT_FORMAT")
+	}
+	want := format.entryCount(dim)
+	if len(weights) != want {
+		return nil, fmt.Errorf("tsplib: EDGE_WEIGHT_SECTION has %d entries, format needs %d", len(weights), want)
+	}
+	m := make([][]float64, dim)
+	for i := range m {
+		m[i] = make([]float64, dim)
+	}
+	k := 0
+	next := func() float64 { v := weights[k]; k++; return v }
+	switch format {
+	case formatFullMatrix:
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				m[i][j] = next()
+			}
+		}
+	case formatUpperRow:
+		for i := 0; i < dim; i++ {
+			for j := i + 1; j < dim; j++ {
+				v := next()
+				m[i][j], m[j][i] = v, v
+			}
+		}
+	case formatLowerRow:
+		for i := 0; i < dim; i++ {
+			for j := 0; j < i; j++ {
+				v := next()
+				m[i][j], m[j][i] = v, v
+			}
+		}
+	case formatUpperDiagRow:
+		for i := 0; i < dim; i++ {
+			for j := i; j < dim; j++ {
+				v := next()
+				m[i][j], m[j][i] = v, v
+			}
+		}
+	case formatLowerDiagRow:
+		for i := 0; i < dim; i++ {
+			for j := 0; j <= i; j++ {
+				v := next()
+				m[i][j], m[j][i] = v, v
+			}
+		}
+	}
+	// FULL_MATRIX may be asymmetric in the file; symmetric TSP requires
+	// symmetry, so reject rather than silently averaging.
+	in.Explicit = m
+	if len(display) > 0 {
+		if len(display) != dim {
+			return nil, fmt.Errorf("tsplib: DISPLAY_DATA has %d points for %d cities", len(display), dim)
+		}
+		in.Cities = coordsInOrder(display)
+	} else {
+		in.Cities = mdsEmbed(m)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// isSectionHeader reports whether the line opens a TSPLIB data section.
+func isSectionHeader(upper string) bool {
+	return strings.HasSuffix(upper, "_SECTION")
+}
+
+// keywordValue extracts the value from a "KEY : value" line.
+func keywordValue(line string) string {
+	if i := strings.Index(line, ":"); i >= 0 {
+		return strings.TrimSpace(line[i+1:])
+	}
+	fields := strings.Fields(line)
+	if len(fields) > 1 {
+		return strings.Join(fields[1:], " ")
+	}
+	return ""
+}
+
+func parseCoordLine(line string) (int, geom.Point, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return 0, geom.Point{}, fmt.Errorf("tsplib: bad coordinate line %q", line)
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, geom.Point{}, fmt.Errorf("tsplib: bad node id in %q: %v", line, err)
+	}
+	x, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return 0, geom.Point{}, fmt.Errorf("tsplib: bad x in %q: %v", line, err)
+	}
+	y, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return 0, geom.Point{}, fmt.Errorf("tsplib: bad y in %q: %v", line, err)
+	}
+	return id, geom.Point{X: x, Y: y}, nil
+}
+
+// Write emits the instance in TSPLIB95 format. Coordinate instances use
+// NODE_COORD_SECTION; explicit instances a FULL_MATRIX
+// EDGE_WEIGHT_SECTION plus a DISPLAY_DATA_SECTION with the embedding.
+// Parse(Write(in)) reproduces the instance.
+func Write(w io.Writer, in *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "NAME : %s\n", in.Name)
+	if in.Comment != "" {
+		fmt.Fprintf(bw, "COMMENT : %s\n", in.Comment)
+	}
+	fmt.Fprintf(bw, "TYPE : TSP\n")
+	fmt.Fprintf(bw, "DIMENSION : %d\n", in.N())
+	if in.Explicit != nil {
+		fmt.Fprintf(bw, "EDGE_WEIGHT_TYPE : EXPLICIT\n")
+		fmt.Fprintf(bw, "EDGE_WEIGHT_FORMAT : FULL_MATRIX\n")
+		fmt.Fprintf(bw, "EDGE_WEIGHT_SECTION\n")
+		for _, row := range in.Explicit {
+			for j, v := range row {
+				if j > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprint(bw, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "DISPLAY_DATA_SECTION\n")
+		for i, c := range in.Cities {
+			fmt.Fprintf(bw, "%d %s %s\n", i+1,
+				strconv.FormatFloat(c.X, 'g', -1, 64),
+				strconv.FormatFloat(c.Y, 'g', -1, 64))
+		}
+		fmt.Fprintf(bw, "EOF\n")
+		return bw.Flush()
+	}
+	fmt.Fprintf(bw, "EDGE_WEIGHT_TYPE : %s\n", in.Metric)
+	fmt.Fprintf(bw, "NODE_COORD_SECTION\n")
+	for i, c := range in.Cities {
+		fmt.Fprintf(bw, "%d %s %s\n", i+1,
+			strconv.FormatFloat(c.X, 'g', -1, 64),
+			strconv.FormatFloat(c.Y, 'g', -1, 64))
+	}
+	fmt.Fprintf(bw, "EOF\n")
+	return bw.Flush()
+}

@@ -1,0 +1,71 @@
+package tsplib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTourRoundTrip(t *testing.T) {
+	order := []int{3, 0, 2, 1, 4}
+	var buf bytes.Buffer
+	if err := WriteTour(&buf, "rt", order); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTour(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(order) {
+		t.Fatalf("got %d entries", len(back))
+	}
+	for i := range order {
+		if back[i] != order[i] {
+			t.Fatalf("entry %d: %d != %d", i, back[i], order[i])
+		}
+	}
+}
+
+func TestTourFileFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTour(&buf, "fmt", []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TYPE : TOUR", "DIMENSION : 2", "TOUR_SECTION", "-1", "EOF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// 1-indexed ids.
+	if !strings.Contains(out, "\n1\n2\n") {
+		t.Errorf("ids not 1-indexed:\n%s", out)
+	}
+}
+
+func TestParseTourErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong type":    "TYPE : TSP\nTOUR_SECTION\n1\n-1\nEOF\n",
+		"dim mismatch":  "TYPE : TOUR\nDIMENSION : 3\nTOUR_SECTION\n1\n2\n-1\nEOF\n",
+		"duplicate":     "TYPE : TOUR\nTOUR_SECTION\n1\n2\n1\n-1\nEOF\n",
+		"zero id":       "TYPE : TOUR\nTOUR_SECTION\n0\n-1\nEOF\n",
+		"no section":    "TYPE : TOUR\nDIMENSION : 2\nEOF\n",
+		"garbage entry": "TYPE : TOUR\nTOUR_SECTION\none\n-1\nEOF\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseTour(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseTourMultiplePerLine(t *testing.T) {
+	src := "TYPE : TOUR\nTOUR_SECTION\n1 2 3\n4 5 -1\nEOF\n"
+	order, err := ParseTour(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 || order[0] != 0 || order[4] != 4 {
+		t.Fatalf("parsed %v", order)
+	}
+}

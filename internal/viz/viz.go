@@ -1,0 +1,76 @@
+// Package viz renders tours as standalone SVG documents so results can
+// be inspected visually without any plotting dependency.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"cimsa/internal/geom"
+	"cimsa/internal/tour"
+	"cimsa/internal/tsplib"
+)
+
+// Options styles the rendering.
+type Options struct {
+	// WidthPX is the image width in pixels (height follows the aspect
+	// ratio); default 800.
+	WidthPX int
+	// ShowCities draws a dot per city (slow above ~20k cities).
+	ShowCities bool
+	// Title is drawn in the top-left corner.
+	Title string
+}
+
+// WriteSVG renders the closed tour over the instance to w.
+func WriteSVG(w io.Writer, in *tsplib.Instance, t tour.Tour, opt Options) error {
+	if err := t.Validate(in.N()); err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	width := opt.WidthPX
+	if width <= 0 {
+		width = 800
+	}
+	b := geom.Bounds(in.Cities)
+	bw, bh := b.Width(), b.Height()
+	if bw == 0 {
+		bw = 1
+	}
+	if bh == 0 {
+		bh = 1
+	}
+	const margin = 20
+	scale := float64(width-2*margin) / bw
+	height := int(bh*scale) + 2*margin
+	px := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip so north stays up.
+		return margin + (p.X-b.MinX)*scale, float64(height) - margin - (p.Y-b.MinY)*scale
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	// Tour path.
+	fmt.Fprintf(w, `<path fill="none" stroke="#1f6feb" stroke-width="0.8" d="`)
+	for i, city := range t {
+		x, y := px(in.Cities[city])
+		if i == 0 {
+			fmt.Fprintf(w, "M%.1f %.1f", x, y)
+		} else {
+			fmt.Fprintf(w, " L%.1f %.1f", x, y)
+		}
+	}
+	fmt.Fprintf(w, ` Z"/>`+"\n")
+	if opt.ShowCities {
+		for _, p := range in.Cities {
+			x, y := px(p)
+			fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="1.2" fill="#d1242f"/>`+"\n", x, y)
+		}
+	}
+	if opt.Title != "" {
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-family="monospace" font-size="14">%s</text>`+"\n",
+			margin, margin-5, opt.Title)
+	}
+	fmt.Fprintf(w, "</svg>\n")
+	return nil
+}
