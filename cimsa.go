@@ -53,10 +53,14 @@ type Options struct {
 	Reference bool
 	// SkipHardware disables the chip PPA estimate.
 	SkipHardware bool
-	// Parallel updates non-adjacent clusters across goroutines, like the
-	// hardware updates all same-phase windows at once. Results are
-	// bit-identical to the sequential mode.
+	// Parallel updates non-adjacent clusters across a persistent worker
+	// pool, like the hardware updates all same-phase windows at once.
+	// Results are bit-identical to the sequential mode.
 	Parallel bool
+	// Workers sets the worker-pool size explicitly (0 picks GOMAXPROCS
+	// when Parallel is set; any value > 1 enables the pool on its own).
+	// Every worker count produces bit-identical results.
+	Workers int
 	// Mode selects the randomness source by name: "noisy-cim" (default),
 	// "metropolis", "greedy" or "noisy-spins" (the ablations of
 	// DESIGN.md).
@@ -82,6 +86,7 @@ func Solve(in *Instance, opt Options) (*Report, error) {
 		Mode:               mode,
 		SkipHardwareReport: opt.SkipHardware,
 		Parallel:           opt.Parallel,
+		Workers:            opt.Workers,
 		Restarts:           opt.Restarts,
 	})
 	if err != nil {

@@ -28,11 +28,12 @@ func main() {
 		name     = flag.String("name", "", "built-in instance name (see -list)")
 		file     = flag.String("file", "", "TSPLIB95 .tsp file to solve")
 		random   = flag.Int("random", 0, "generate a uniform random instance of this size")
-		pmax     = flag.Int("pmax", 3, "maximum cluster size (2-4)")
+		pmax     = flag.Int("pmax", 3, "maximum cluster size (2-8)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		mode     = flag.String("mode", "noisy-cim", "randomness source: noisy-cim | metropolis | greedy | noisy-spins")
 		restarts = flag.Int("restarts", 1, "independent replicas; the best tour wins")
-		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across goroutines")
+		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across a worker pool (GOMAXPROCS workers)")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS with -parallel; results identical for any value)")
 		tourOut  = flag.String("tour", "", "write the visiting order to this file")
 		svgOut   = flag.String("svg", "", "render the tour to this SVG file")
 		noRef    = flag.Bool("noref", false, "skip the classical reference solver")
@@ -60,6 +61,7 @@ func main() {
 		Mode:         *mode,
 		Restarts:     *restarts,
 		Parallel:     *parallel,
+		Workers:      *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

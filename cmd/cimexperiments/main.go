@@ -31,6 +31,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "instance scale in (0,1] for solved workloads")
 		seed    = flag.Uint64("seed", 1, "seed")
 		samples = flag.Int("samples", 1000, "Fig. 6 Monte Carlo samples")
+		workers = flag.Int("workers", 0, "solver worker-pool size (0 = sequential; results identical for any value)")
 		csvDir  = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 	)
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, MCSamples: *samples}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, MCSamples: *samples, Workers: *workers}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*run, ",") {
 		selected[strings.TrimSpace(s)] = true

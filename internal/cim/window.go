@@ -129,7 +129,7 @@ func NewWindow(index int, intra, fromPrev, toNext [][]float64) (*Window, error) 
 }
 
 // MaskWeights truncates the stored clean codes to the given number of
-// significant bits by zeroing the lower 8-bits LSBs (a precision
+// significant bits by zeroing the lower (8 − bits) LSBs (a precision
 // ablation: the paper chooses 8-bit weights "to ensure solution
 // quality"). Must be called before the first WriteBack of an epoch; the
 // visible codes update immediately.
@@ -149,12 +149,21 @@ func (w *Window) MaskWeights(bits int) {
 // through the fabric, so vulnerable cells take their preferred values.
 // With nLSB = 0 or nominal vdd the window reads back clean.
 func (w *Window) WriteBack(f *noise.Fabric, vdd float64, nLSB int) {
+	if nLSB <= 0 {
+		// No bit plane runs at reduced supply: every cell reads back
+		// exactly what was written.
+		copy(w.noisy, w.clean)
+		return
+	}
+	// The vulnerability probability depends only on vdd; hoist the
+	// error-model sigmoid out of the per-cell loop.
+	prob := f.VulnProb(vdd)
 	cols := w.Cols()
 	for row := 0; row < w.Rows(); row++ {
 		for col := 0; col < cols; col++ {
 			idx := row*cols + col
 			base := noise.CellID(w.Index, row, col, 0)
-			w.noisy[idx] = f.ApplyToCode(w.clean[idx], base, vdd, nLSB)
+			w.noisy[idx] = f.ApplyToCodeProb(w.clean[idx], base, prob, nLSB)
 		}
 	}
 }

@@ -13,8 +13,6 @@ package clustered
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"cimsa/internal/cim"
 	"cimsa/internal/cluster"
@@ -92,12 +90,17 @@ type Options struct {
 	// paths and inter-cluster link edges, in centroid-distance units)
 	// after every iteration of every annealed level.
 	RecordTrace bool
-	// Parallel updates the clusters of each chromatic phase across
-	// goroutines, mirroring the hardware's all-windows-at-once update.
-	// Results are bit-identical to the sequential mode: proposals and
-	// accept randomness are derived from (seed, level, iteration,
-	// cluster) counters, not from a shared stream.
+	// Parallel updates the clusters of each chromatic phase across a
+	// persistent worker pool, mirroring the hardware's
+	// all-windows-at-once update. Results are bit-identical to the
+	// sequential mode: proposals and accept randomness are derived from
+	// (seed, level, iteration, cluster) counters, not from a shared
+	// stream.
 	Parallel bool
+	// Workers sets the worker-pool size explicitly. 0 picks GOMAXPROCS
+	// when Parallel is set (and 1 otherwise); 1 forces fully inline
+	// execution. Any value produces bit-identical results.
+	Workers int
 	// WeightBits truncates stored weights to this many significant bits
 	// (1-8); 0 or 8 keeps full precision. Precision ablation for the
 	// paper's 8-bit design choice.
@@ -144,6 +147,25 @@ type Stats struct {
 	BoundaryTransferBits int64
 }
 
+// Add accumulates another replica's work counters into s — the
+// aggregation rule for multi-restart solves, where every counter that
+// feeds the energy/PPA model must reflect the total work done, not the
+// winning replica's share. BottomWindows is provisioning rather than
+// work, so it takes the maximum.
+func (s *Stats) Add(o Stats) {
+	s.Levels += o.Levels
+	s.Iterations += o.Iterations
+	s.Proposed += o.Proposed
+	s.Accepted += o.Accepted
+	s.WriteBacks += o.WriteBacks
+	s.Cycles += o.Cycles
+	s.WeightWrites += o.WeightWrites
+	s.BoundaryTransferBits += o.BoundaryTransferBits
+	if o.BottomWindows > s.BottomWindows {
+		s.BottomWindows = o.BottomWindows
+	}
+}
+
 // Result is a finished solve.
 type Result struct {
 	Tour   tour.Tour
@@ -175,11 +197,15 @@ func Solve(in *tsplib.Instance, opt Options) (Result, error) {
 	}
 	nodes := permuteNodes(top, order)
 
-	// Anneal each level below the top.
+	// Anneal each level below the top on one persistent worker pool:
+	// workers outlive levels, phases and iterations, so the per-phase
+	// cost is a dispatch, not a goroutine spawn.
+	ex := newExecutor(o)
+	defer ex.close()
 	var traces [][]float64
 	for li := h.NumLevels() - 1; li >= 1; li-- {
 		var trace []float64
-		nodes, trace = annealLevel(nodes, li, o, &stats)
+		nodes, trace = annealLevel(nodes, li, o, &stats, ex)
 		if o.RecordTrace {
 			traces = append(traces, trace)
 		}
@@ -240,8 +266,11 @@ type clusterState struct {
 	window *cim.Window
 	// order[slot] = child index within node.Children.
 	order []int
-	// scratch buffers reused across proposals.
+	// scratch buffers reused across proposals. Only the worker updating
+	// this cluster touches them (same-phase clusters are non-adjacent,
+	// and a cluster belongs to exactly one phase).
 	rowsBuf []int
+	spinBuf []int
 }
 
 // firstElem/lastElem return the child index currently at the cluster's
@@ -251,12 +280,15 @@ func (c *clusterState) lastElem() int  { return c.order[len(c.order)-1] }
 
 // annealLevel orders the children of each node and returns the expanded
 // child sequence plus (when requested) the objective trace.
-func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats) ([]*cluster.Node, []float64) {
+func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *executor) ([]*cluster.Node, []float64) {
 	nc := len(nodes)
 	state := &levelState{clusters: make([]*clusterState, nc)}
 	for ci, n := range nodes {
 		p := len(n.Children)
 		cs := &clusterState{node: n, order: make([]int, p), rowsBuf: make([]int, 0, p+2)}
+		if o.Mode == ModeNoisySpins {
+			cs.spinBuf = make([]int, 0, p)
+		}
 		for i := range cs.order {
 			cs.order[i] = i
 		}
@@ -279,49 +311,49 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats) ([]*
 		stats.WeightWrites += int64(w.Rows() * w.Cols())
 	}
 
-	phases := chromaticPhases(nc)
+	phases := ex.phasesFor(nc)
 	iters := o.Schedule.TotalIters()
 	temp := metropolisTemp(state)
-	// Inter-array boundary traffic is a static property of the window
-	// layout (Fig. 5e): each cluster whose neighbour lives in another
-	// array pulls p one-hot bits over the link every iteration.
-	transfersPerIter := int64(0)
-	for ci := range state.clusters {
-		p := o.Strategy.MaxElements()
-		prev := (ci - 1 + nc) % nc
-		next := (ci + 1) % nc
-		if cim.ArrayOf(prev) != cim.ArrayOf(ci) {
-			transfersPerIter += int64(cim.BoundaryTransferBits(p))
-		}
-		if cim.ArrayOf(next) != cim.ArrayOf(ci) {
-			transfersPerIter += int64(cim.BoundaryTransferBits(p))
-		}
-	}
+	transfersPerIter := boundaryTransfersPerIter(state)
 	var trace []float64
+	job := &ex.job
+	job.state = state
+	job.level = level
+	job.opt = &o
 	for iter := 0; iter < iters; iter++ {
+		vdd, nLSB := o.Schedule.At(iter)
 		if iter%o.Schedule.EpochIters == 0 {
-			vdd, nLSB := o.Schedule.At(iter)
-			refreshWindows(state, o, vdd, nLSB, stats)
-		}
-		vdd, _ := o.Schedule.At(iter)
-		tFrac := 1 - float64(iter)/float64(iters)
-		for _, phase := range phases {
-			if o.Parallel {
-				runPhaseParallel(state, phase, level, iter, o, vdd, temp*tFrac, stats)
+			// Write-back + pseudo-read epoch; windows are independent, so
+			// the pool sweeps them in parallel.
+			job.kind = jobRefreshWindows
+			if o.Mode == ModeNoisyCIM {
+				job.vdd, job.nLSB = vdd, nLSB
 			} else {
-				for _, ci := range phase {
-					prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp*tFrac)
-					stats.Proposed += prop
-					stats.Accepted += acc
-				}
+				// Clean weights for every other mode; the spin-noise
+				// ablation corrupts inputs at proposal time instead.
+				job.vdd, job.nLSB = 0.8, 0
 			}
+			ex.dispatch(job, nc)
+		}
+		tFrac := 1 - float64(iter)/float64(iters)
+		job.kind = jobUpdatePhase
+		job.iter = iter
+		job.vdd = vdd
+		job.temp = temp * tFrac
+		if o.Mode == ModeNoisySpins {
+			job.vulnProb = o.Fabric.VulnProb(vdd)
+		}
+		for _, phase := range phases {
+			job.phase = phase
+			ex.dispatch(job, len(phase))
 		}
 		stats.Cycles += int64(cim.CyclesPerIteration)
 		stats.BoundaryTransferBits += transfersPerIter
 		if o.RecordTrace {
-			trace = append(trace, levelObjective(state))
+			trace = append(trace, ex.levelObjective(state))
 		}
 	}
+	ex.mergeShards(stats)
 	stats.Levels++
 	stats.Iterations += iters
 
@@ -335,37 +367,26 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats) ([]*
 	return out, trace
 }
 
-// levelObjective evaluates the level's true (unquantized, noise-free)
-// objective: the closed path over all children in their current order,
-// measured between centroids.
-func levelObjective(state *levelState) float64 {
-	var pts []geom.Point
-	for _, cs := range state.clusters {
-		for _, childIdx := range cs.order {
-			pts = append(pts, cs.node.Children[childIdx].Centroid)
+// boundaryTransfersPerIter counts the bits crossing inter-array links in
+// one update iteration. Traffic is a static property of the window
+// layout (Fig. 5e): each cluster whose neighbour lives in another array
+// pulls the neighbour's boundary element over the link every iteration,
+// one-hot encoded over that neighbour's *actual* element count —
+// remainder clusters smaller than pMax transfer fewer bits.
+func boundaryTransfersPerIter(state *levelState) int64 {
+	nc := len(state.clusters)
+	transfers := int64(0)
+	for ci := range state.clusters {
+		prev := (ci - 1 + nc) % nc
+		next := (ci + 1) % nc
+		if cim.ArrayOf(prev) != cim.ArrayOf(ci) {
+			transfers += int64(cim.BoundaryTransferBits(len(state.clusters[prev].order)))
+		}
+		if cim.ArrayOf(next) != cim.ArrayOf(ci) {
+			transfers += int64(cim.BoundaryTransferBits(len(state.clusters[next].order)))
 		}
 	}
-	var sum float64
-	for i := range pts {
-		sum += geom.Exact.Dist(pts[i], pts[(i+1)%len(pts)])
-	}
-	return sum
-}
-
-// refreshWindows performs the write-back + pseudo-read epoch.
-func refreshWindows(state *levelState, o Options, vdd float64, nLSB int, stats *Stats) {
-	for _, cs := range state.clusters {
-		switch o.Mode {
-		case ModeNoisyCIM:
-			cs.window.WriteBack(o.Fabric, vdd, nLSB)
-		default:
-			// Clean weights for every other mode; the spin-noise ablation
-			// corrupts inputs at proposal time instead.
-			cs.window.WriteBack(o.Fabric, 0.8, 0)
-		}
-		stats.WriteBacks++
-		stats.WeightWrites += int64(cs.window.Rows() * cs.window.Cols())
-	}
+	return transfers
 }
 
 // metropolisTemp picks the classical-mode starting temperature: the mean
@@ -414,8 +435,10 @@ func counterHash(vals ...uint64) uint64 {
 }
 
 // updateCluster proposes and (maybe) applies one swap for cluster ci.
-// Returns proposal/acceptance counts (0 or 1 each).
-func updateCluster(state *levelState, ci, level, iter int, o Options, vdd, temp float64) (proposed, accepted int) {
+// Returns proposal/acceptance counts (0 or 1 each). It is the worker
+// pool's unit of work: it writes only cluster ci's state and reads only
+// neighbours that are frozen for the current chromatic phase.
+func updateCluster(state *levelState, ci, level, iter int, o *Options, vdd, vulnProb, temp float64) (proposed, accepted int) {
 	cs := state.clusters[ci]
 	p := len(cs.order)
 	if p < 2 {
@@ -425,70 +448,24 @@ func updateCluster(state *levelState, ci, level, iter int, o Options, vdd, temp 
 	if i == j {
 		return 0, 0
 	}
-	if proposeSwap(state, ci, i, j, o, u, vdd, temp) {
+	if proposeSwap(state, ci, i, j, o, u, vulnProb, temp) {
 		cs.order[i], cs.order[j] = cs.order[j], cs.order[i]
 		return 1, 1
 	}
 	return 1, 0
 }
 
-// runPhaseParallel updates all clusters of one chromatic phase across
-// goroutines. Same-phase clusters are mutually non-adjacent, so each
-// writes only its own order and reads only frozen neighbours.
-func runPhaseParallel(state *levelState, phase []int, level, iter int, o Options, vdd, temp float64, stats *Stats) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(phase) {
-		workers = len(phase)
-	}
-	if workers < 2 {
-		for _, ci := range phase {
-			prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp)
-			stats.Proposed += prop
-			stats.Accepted += acc
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	props := make([]int, workers)
-	accs := make([]int, workers)
-	chunk := (len(phase) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(phase) {
-			hi = len(phase)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for _, ci := range phase[lo:hi] {
-				prop, acc := updateCluster(state, ci, level, iter, o, vdd, temp)
-				props[w] += prop
-				accs[w] += acc
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		stats.Proposed += props[w]
-		stats.Accepted += accs[w]
-	}
-}
-
 // proposeSwap evaluates one swap through the CIM path and decides
 // acceptance per the mode using the pre-drawn uniform u. It does not
 // apply the swap.
-func proposeSwap(state *levelState, ci, i, j int, o Options, u, vdd, temp float64) bool {
+func proposeSwap(state *levelState, ci, i, j int, o *Options, u, vulnProb, temp float64) bool {
 	nc := len(state.clusters)
 	cs := state.clusters[ci]
 	prev := state.clusters[(ci-1+nc)%nc]
 	next := state.clusters[(ci+1)%nc]
 	in := cim.Inputs{Order: cs.order, PrevElem: prev.lastElem(), NextElem: next.firstElem()}
 	if o.Mode == ModeNoisySpins {
-		in = corruptInputs(in, o.Fabric, ci, vdd)
+		in = corruptInputs(in, o.Fabric, ci, vulnProb, cs)
 	}
 	rows := cs.window.ActiveRows(in, cs.rowsBuf)
 	p := cs.window.P
@@ -524,13 +501,16 @@ func proposeSwap(state *levelState, ci, i, j int, o Options, u, vdd, temp float6
 // corruptInputs applies the spatial spin-noise ablation: each one-hot
 // input bit is read through the fabric with a cell ID derived from the
 // cluster and slot, so the same spins see the same (fixed) errors every
-// cycle — reproducing [4]'s deterministic-trace failure mode.
-func corruptInputs(in cim.Inputs, f *noise.Fabric, ci int, vdd float64) cim.Inputs {
-	out := cim.Inputs{Order: append([]int(nil), in.Order...), PrevElem: in.PrevElem, NextElem: in.NextElem}
+// cycle — reproducing [4]'s deterministic-trace failure mode. The
+// corrupted order lives in the cluster's spinBuf scratch, so the inner
+// loop stays allocation-free.
+func corruptInputs(in cim.Inputs, f *noise.Fabric, ci int, vulnProb float64, cs *clusterState) cim.Inputs {
+	cs.spinBuf = append(cs.spinBuf[:0], in.Order...)
+	out := cim.Inputs{Order: cs.spinBuf, PrevElem: in.PrevElem, NextElem: in.NextElem}
 	p := len(out.Order)
 	for slot := 0; slot < p; slot++ {
 		id := noise.CellID(1<<20+ci, slot, 0, 0)
-		if f.ReadBit(id, 0, vdd) != 0 {
+		if f.ReadBitProb(id, 0, vulnProb) != 0 {
 			// The spin register bit misreads: the slot appears to hold a
 			// different (spatially fixed) element.
 			out.Order[slot] = int(id>>3) % p

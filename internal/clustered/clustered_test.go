@@ -1,6 +1,7 @@
 package clustered
 
 import (
+	"runtime"
 	"testing"
 
 	"cimsa/internal/cluster"
@@ -338,6 +339,89 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestWorkerCountDeterminism pins the pool's contract: the tour, length
+// and every statistic are byte-identical for any worker count, on
+// multiple instances and modes. Counter-based proposal randomness plus
+// non-adjacent chromatic phases make the schedule of work across
+// workers unobservable.
+func TestWorkerCountDeterminism(t *testing.T) {
+	instances := []*tsplib.Instance{
+		tsplib.Generate("cl-det-a", 420, tsplib.StyleClustered, 61),
+		tsplib.Generate("cl-det-b", 350, tsplib.StyleUniform, 62),
+	}
+	workerCounts := []int{0, 1, 2, runtime.GOMAXPROCS(0)}
+	for _, in := range instances {
+		for _, mode := range []Mode{ModeNoisyCIM, ModeMetropolis} {
+			base, err := Solve(in, solveOpts(mode, 63))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, wk := range workerCounts {
+				opt := solveOpts(mode, 63)
+				opt.Parallel = true
+				opt.Workers = wk
+				res, err := Solve(in, opt)
+				if err != nil {
+					t.Fatalf("%s/%v workers=%d: %v", in.Name, mode, wk, err)
+				}
+				if res.Length != base.Length {
+					t.Fatalf("%s/%v workers=%d: length %v != sequential %v",
+						in.Name, mode, wk, res.Length, base.Length)
+				}
+				if res.Stats != base.Stats {
+					t.Fatalf("%s/%v workers=%d: stats %+v != sequential %+v",
+						in.Name, mode, wk, res.Stats, base.Stats)
+				}
+				for i := range base.Tour {
+					if res.Tour[i] != base.Tour[i] {
+						t.Fatalf("%s/%v workers=%d: tours differ at position %d",
+							in.Name, mode, wk, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPhasesForMatchesChromaticPhases pins the executor's reusable phase
+// buffers to the reference partition.
+func TestPhasesForMatchesChromaticPhases(t *testing.T) {
+	ex := &executor{workers: 1, shards: make([]statShard, 1)}
+	for _, nc := range []int{1, 2, 3, 4, 5, 8, 9, 17, 100, 101} {
+		want := chromaticPhases(nc)
+		got := ex.phasesFor(nc)
+		if len(got) != len(want) {
+			t.Fatalf("nc=%d: %d phases, want %d", nc, len(got), len(want))
+		}
+		for pi := range want {
+			if len(got[pi]) != len(want[pi]) {
+				t.Fatalf("nc=%d phase %d: len %d, want %d", nc, pi, len(got[pi]), len(want[pi]))
+			}
+			for i := range want[pi] {
+				if got[pi][i] != want[pi][i] {
+					t.Fatalf("nc=%d phase %d: got %v, want %v", nc, pi, got[pi], want[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestStatsAdd checks the multi-restart aggregation rule: work counters
+// sum, provisioning takes the max.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Levels: 2, BottomWindows: 10, Iterations: 800, Proposed: 50, Accepted: 20,
+		WriteBacks: 16, Cycles: 8000, WeightWrites: 1000, BoundaryTransferBits: 300}
+	b := Stats{Levels: 3, BottomWindows: 12, Iterations: 1200, Proposed: 70, Accepted: 30,
+		WriteBacks: 24, Cycles: 12000, WeightWrites: 1500, BoundaryTransferBits: 400}
+	sum := a
+	sum.Add(b)
+	want := Stats{Levels: 5, BottomWindows: 12, Iterations: 2000, Proposed: 120, Accepted: 50,
+		WriteBacks: 40, Cycles: 20000, WeightWrites: 2500, BoundaryTransferBits: 700}
+	if sum != want {
+		t.Fatalf("Add: got %+v, want %+v", sum, want)
+	}
+}
+
 func TestProposalForProperties(t *testing.T) {
 	// Proposals must be in range and well spread.
 	counts := make(map[[2]int]int)
@@ -435,6 +519,26 @@ func TestBoundaryTransferAccounting(t *testing.T) {
 	}
 	if res2.Stats.BoundaryTransferBits != res.Stats.BoundaryTransferBits {
 		t.Fatal("traffic accounting not deterministic")
+	}
+}
+
+// TestBoundaryTransfersUseActualClusterSizes pins the Fig. 5e
+// accounting rule: a boundary fetch carries the *neighbour cluster's*
+// one-hot width, not the provisioned pMax — remainder clusters smaller
+// than pMax transfer fewer bits.
+func TestBoundaryTransfersUseActualClusterSizes(t *testing.T) {
+	// 12 clusters span two arrays (WindowsPerArray = 10): links cross
+	// between clusters 9↔10 and, cyclically, 11↔0.
+	sizes := []int{3, 3, 3, 3, 3, 3, 3, 3, 3, 2, 1, 2}
+	state := &levelState{clusters: make([]*clusterState, len(sizes))}
+	for ci, p := range sizes {
+		state.clusters[ci] = &clusterState{order: make([]int, p)}
+	}
+	// Crossing fetches pull sizes[10], sizes[9], sizes[0] and sizes[11]:
+	// 1 + 2 + 3 + 2 bits. The provisioned-pMax accounting would claim 12.
+	got := boundaryTransfersPerIter(state)
+	if want := int64(1 + 2 + 3 + 2); got != want {
+		t.Fatalf("boundary transfers = %d bits/iter, want %d", got, want)
 	}
 }
 

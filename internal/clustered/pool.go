@@ -1,0 +1,267 @@
+package clustered
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cimsa/internal/geom"
+)
+
+// The executor is the solve's persistent execution engine: a pool of
+// workers created once in Solve and reused by every phase of every
+// iteration of every level. The hardware updates all same-phase windows
+// in one cycle; the software analogue must not pay a goroutine spawn +
+// WaitGroup per phase (levels × iterations × phases of them per solve)
+// to mimic that. Workers park on a channel between phases and pull
+// cluster chunks off a shared atomic cursor, so a phase dispatch costs
+// one channel send per worker instead of a goroutine launch.
+//
+// Determinism: proposals and accept uniforms are derived from
+// (seed, level, iteration, cluster) counters and same-phase clusters
+// are mutually non-adjacent, so the partition of a phase across workers
+// — and the order chunks are grabbed in — cannot change any result.
+// Stats are accumulated into per-worker shards and merged once per
+// level; every counter is a sum, so the merge is order-independent too.
+
+// effectiveWorkers resolves the Workers/Parallel knobs to a pool size.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// statShard is one worker's private counters, padded to a cache line so
+// concurrent increments never false-share.
+type statShard struct {
+	proposed, accepted int64
+	writeBacks         int64
+	weightWrites       int64
+	_                  [32]byte
+}
+
+type jobKind int
+
+const (
+	// jobUpdatePhase runs updateCluster over job.phase.
+	jobUpdatePhase jobKind = iota
+	// jobRefreshWindows runs the write-back + pseudo-read epoch over
+	// every cluster of job.state.
+	jobRefreshWindows
+)
+
+// poolJob describes one unit of fan-out work. A single job struct is
+// reused across dispatches (the dispatcher blocks until all workers
+// finish, so rewriting its fields between dispatches is race-free).
+type poolJob struct {
+	kind        jobKind
+	state       *levelState
+	phase       []int
+	level, iter int
+	opt         *Options
+	vdd, temp   float64
+	// vulnProb is the pre-converted fabric vulnerability probability for
+	// the noisy-spins input corruption (unused by the other modes).
+	vulnProb float64
+	// nLSB is the refresh epoch's noisy-LSB count.
+	nLSB   int
+	cursor atomic.Int64
+	wg     sync.WaitGroup
+}
+
+type executor struct {
+	workers int
+	shards  []statShard
+	jobs    chan *poolJob
+	job     poolJob
+	// objPts backs levelObjective across iterations and levels.
+	objPts []geom.Point
+	// phases / phaseIdx back the chromatic phase lists across levels.
+	phases   [][]int
+	phaseIdx []int
+}
+
+// newExecutor starts the solve's worker pool. Workers beyond the first
+// are background goroutines; the dispatching goroutine itself acts as
+// worker 0, so a pool of one runs everything inline with no
+// synchronization at all.
+func newExecutor(o Options) *executor {
+	n := o.effectiveWorkers()
+	ex := &executor{workers: n, shards: make([]statShard, n)}
+	if n > 1 {
+		ex.jobs = make(chan *poolJob, n-1)
+		for w := 1; w < n; w++ {
+			go ex.workerLoop(w)
+		}
+	}
+	return ex
+}
+
+// close releases the background workers. The executor must not be used
+// afterwards.
+func (ex *executor) close() {
+	if ex.jobs != nil {
+		close(ex.jobs)
+	}
+}
+
+func (ex *executor) workerLoop(w int) {
+	for job := range ex.jobs {
+		ex.runJob(w, job)
+		job.wg.Done()
+	}
+}
+
+// dispatch fans the prepared job out across the pool and blocks until
+// every item is processed. items is the job's total work-item count;
+// when one cursor grab would cover it anyway, the caller runs the job
+// inline and the background workers are never woken.
+func (ex *executor) dispatch(job *poolJob, items int) {
+	job.cursor.Store(0)
+	if ex.workers == 1 || items <= int(job.grabSize(ex.workers, items)) {
+		ex.runJob(0, job)
+		return
+	}
+	job.wg.Add(ex.workers - 1)
+	for w := 1; w < ex.workers; w++ {
+		ex.jobs <- job
+	}
+	ex.runJob(0, job)
+	job.wg.Wait()
+}
+
+// grabSize picks how many items a worker claims per cursor grab:
+// coarse enough that the atomic add is noise, fine enough that the last
+// chunks still balance across the pool.
+func (job *poolJob) grabSize(workers, items int) int64 {
+	grab := items / (4 * workers)
+	lo, hi := 8, 64
+	if job.kind == jobRefreshWindows {
+		// A window refresh sweeps rows×cols cells; items are much
+		// heavier than a cluster update.
+		lo, hi = 2, 16
+	}
+	if grab < lo {
+		grab = lo
+	}
+	if grab > hi {
+		grab = hi
+	}
+	return int64(grab)
+}
+
+// runJob processes chunks of the job until the cursor is exhausted,
+// accumulating counters into worker w's shard.
+func (ex *executor) runJob(w int, job *poolJob) {
+	sh := &ex.shards[w]
+	switch job.kind {
+	case jobUpdatePhase:
+		n := int64(len(job.phase))
+		grab := job.grabSize(ex.workers, len(job.phase))
+		for {
+			end := job.cursor.Add(grab)
+			start := end - grab
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for _, ci := range job.phase[start:end] {
+				prop, acc := updateCluster(job.state, ci, job.level, job.iter, job.opt, job.vdd, job.vulnProb, job.temp)
+				sh.proposed += int64(prop)
+				sh.accepted += int64(acc)
+			}
+		}
+	case jobRefreshWindows:
+		clusters := job.state.clusters
+		n := int64(len(clusters))
+		grab := job.grabSize(ex.workers, len(clusters))
+		for {
+			end := job.cursor.Add(grab)
+			start := end - grab
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for _, cs := range clusters[start:end] {
+				cs.window.WriteBack(job.opt.Fabric, job.vdd, job.nLSB)
+				sh.writeBacks++
+				sh.weightWrites += int64(cs.window.Rows() * cs.window.Cols())
+			}
+		}
+	}
+}
+
+// mergeShards folds every worker's counters into stats and resets the
+// shards — called once per level, not once per phase.
+func (ex *executor) mergeShards(stats *Stats) {
+	for i := range ex.shards {
+		sh := &ex.shards[i]
+		stats.Proposed += int(sh.proposed)
+		stats.Accepted += int(sh.accepted)
+		stats.WriteBacks += int(sh.writeBacks)
+		stats.WeightWrites += sh.weightWrites
+		*sh = statShard{}
+	}
+}
+
+// phasesFor returns the chromatic phases for nc clusters, reusing the
+// executor's backing storage across levels. The contents are identical
+// to chromaticPhases(nc).
+func (ex *executor) phasesFor(nc int) [][]int {
+	if cap(ex.phaseIdx) < nc {
+		ex.phaseIdx = make([]int, 0, nc)
+	}
+	// Same partition as chromaticPhases — odd, even, then the odd-count
+	// extra — laid out contiguously in one backing array.
+	idx := ex.phaseIdx[:0]
+	hasExtra := nc%2 == 1
+	last := nc
+	if hasExtra {
+		last = nc - 1
+	}
+	for ci := 1; ci < last; ci += 2 {
+		idx = append(idx, ci)
+	}
+	oddEnd := len(idx)
+	for ci := 0; ci < last; ci += 2 {
+		idx = append(idx, ci)
+	}
+	evenEnd := len(idx)
+	if hasExtra {
+		idx = append(idx, nc-1)
+	}
+	ex.phaseIdx = idx
+	phases := append(ex.phases[:0], idx[:oddEnd], idx[oddEnd:evenEnd])
+	if hasExtra {
+		phases = append(phases, idx[evenEnd:])
+	}
+	ex.phases = phases
+	return phases
+}
+
+// levelObjective evaluates the level's true (unquantized, noise-free)
+// objective: the closed path over all children in their current order,
+// measured between centroids. The point buffer persists on the executor
+// so trace recording does not allocate inside the iteration loop.
+func (ex *executor) levelObjective(state *levelState) float64 {
+	pts := ex.objPts[:0]
+	for _, cs := range state.clusters {
+		for _, childIdx := range cs.order {
+			pts = append(pts, cs.node.Children[childIdx].Centroid)
+		}
+	}
+	ex.objPts = pts
+	var sum float64
+	for i := range pts {
+		sum += geom.Exact.Dist(pts[i], pts[(i+1)%len(pts)])
+	}
+	return sum
+}

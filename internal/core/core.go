@@ -36,8 +36,12 @@ type Config struct {
 	Tech ppa.Tech
 	// SkipHardwareReport disables the chip PPA evaluation.
 	SkipHardwareReport bool
-	// Parallel enables goroutine-parallel chromatic phase updates.
+	// Parallel enables worker-pool-parallel chromatic phase updates.
 	Parallel bool
+	// Workers sets the solver's worker-pool size explicitly; 0 picks
+	// GOMAXPROCS when Parallel is set. Results are bit-identical for
+	// every value.
+	Workers int
 	// Restarts runs that many independent replicas (distinct proposal
 	// seeds and noise fabrics) and keeps the best tour — the software
 	// analogue of multi-replica annealer chips. 0 or 1 means one run.
@@ -89,7 +93,9 @@ type Report struct {
 	// computed); OptimalRatio = Length / ReferenceLength.
 	ReferenceLength float64
 	OptimalRatio    float64
-	// Solver carries the annealing statistics.
+	// Solver carries the annealing statistics. Under Restarts > 1 every
+	// work counter is the sum over all replicas (the energy model sees
+	// the total work done), while Tour/Length come from the best one.
 	Solver clustered.Stats
 	// Chip carries the hardware PPA evaluation (zero value when
 	// SkipHardwareReport is set or the strategy is not semi-flexible).
@@ -106,6 +112,7 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 		restarts = 1
 	}
 	var res clustered.Result
+	var agg clustered.Stats
 	for rep := 0; rep < restarts; rep++ {
 		seed := a.cfg.Seed + uint64(rep)
 		opts := clustered.Options{
@@ -114,6 +121,7 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 			Mode:     a.cfg.Mode,
 			Seed:     seed,
 			Parallel: a.cfg.Parallel,
+			Workers:  a.cfg.Workers,
 		}
 		if rep > 0 {
 			// Each replica is a distinct chip: new fabric, new errors.
@@ -123,21 +131,18 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Work accumulates symmetrically across every replica — win or
+		// lose — so the energy/PPA inputs count all the work done, not
+		// just the winner's share. The tour is the best replica's.
+		agg.Add(cur.Stats)
 		if rep == 0 || cur.Length < res.Length {
-			keepStats := res.Stats
 			res = cur
-			if rep > 0 {
-				// Accumulate work across replicas; the tour is the best.
-				res.Stats.Proposed += keepStats.Proposed
-				res.Stats.Accepted += keepStats.Accepted
-				res.Stats.Cycles += keepStats.Cycles
-			}
-		} else {
-			res.Stats.Proposed += cur.Stats.Proposed
-			res.Stats.Accepted += cur.Stats.Accepted
-			res.Stats.Cycles += cur.Stats.Cycles
 		}
 	}
+	// The chip runs one replica's schedule; keep its per-run level count
+	// for the hardware profile before swapping in the aggregate.
+	runLevels := res.Stats.Levels
+	res.Stats = agg
 	rep := &Report{
 		Instance: in.Name,
 		N:        in.N(),
@@ -147,7 +152,7 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 	}
 	if !a.cfg.SkipHardwareReport && a.cfg.Strategy.Kind == cluster.SemiFlex {
 		prof := ppa.RunProfile{
-			Levels:             res.Stats.Levels,
+			Levels:             runLevels,
 			IterationsPerLevel: a.cfg.Schedule.TotalIters(),
 			EpochIters:         a.cfg.Schedule.EpochIters,
 		}

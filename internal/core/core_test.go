@@ -179,6 +179,41 @@ func TestRestartsKeepBest(t *testing.T) {
 	}
 }
 
+// TestRestartStatsInvariance is the aggregation contract: a Restarts=R
+// solve must report exactly the sum of R independently-run replicas'
+// work counters — every counter, not just swap trials. The energy/PPA
+// model consumes these numbers; any counter sourced from "whichever
+// replica won" under-counts work by ~R×.
+func TestRestartStatsInvariance(t *testing.T) {
+	in := tsplib.Generate("core-restart-inv", 220, tsplib.StyleUniform, 9)
+	const restarts = 3
+	const seed = 5
+	a, err := New(Config{Seed: seed, Restarts: restarts, SkipHardwareReport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run each replica individually with the same options core uses:
+	// seed Seed+rep, and the default fabric derived from that seed.
+	var want clustered.Stats
+	for r := uint64(0); r < restarts; r++ {
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+			Seed:     seed + r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Add(res.Stats)
+	}
+	if rep.Solver != want {
+		t.Fatalf("aggregate stats != sum of replicas:\n got %+v\nwant %+v", rep.Solver, want)
+	}
+}
+
 func TestParallelThroughCore(t *testing.T) {
 	in := tsplib.Generate("core-par", 300, tsplib.StyleUniform, 8)
 	seq, err := New(Config{Seed: 11})

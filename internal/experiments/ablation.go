@@ -28,7 +28,7 @@ func AblationModes(cfg Config) ([]AblationRow, error) {
 		clustered.ModeNoisyCIM, clustered.ModeMetropolis,
 		clustered.ModeGreedy, clustered.ModeNoisySpins,
 	} {
-		ratio, _, err := solveRatio(in, strategy, m, c.Seed+11)
+		ratio, _, err := solveRatio(in, strategy, m, c.Seed+11, c.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -62,6 +62,7 @@ func AblationSchedule(cfg Config) ([]AblationRow, error) {
 			Strategy: strategy,
 			Schedule: sc.s,
 			Seed:     c.Seed + 13,
+			Workers:  c.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -94,6 +95,7 @@ func AblationParallelism(cfg Config) ([]ParallelismRow, error) {
 	res, err := clustered.Solve(in, clustered.Options{
 		Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
 		Seed:     c.Seed + 17,
+		Workers:  c.Workers,
 	})
 	if err != nil {
 		return nil, err

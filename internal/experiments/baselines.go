@@ -65,6 +65,7 @@ func Baselines(cfg Config) ([]BaselineRow, error) {
 			res, err := clustered.Solve(in, clustered.Options{
 				Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
 				Seed:     c.Seed + 29,
+				Workers:  c.Workers,
 			})
 			if err != nil {
 				panic(err)

@@ -31,6 +31,7 @@ func Convergence(cfg Config) ([]ConvergenceSeries, error) {
 			Mode:        m,
 			Seed:        c.Seed + 19,
 			RecordTrace: true,
+			Workers:     c.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -29,6 +29,10 @@ type Config struct {
 	// MCSamples is the Fig. 6 Monte Carlo population; 0 means the
 	// paper's 1000.
 	MCSamples int
+	// Workers sets the solver's worker-pool size for every solved
+	// workload; 0 keeps the sequential path. Results are bit-identical
+	// for any value, only wall time changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -65,8 +69,8 @@ func scaledLoad(name string, cfg Config) (*tsplib.Instance, int, error) {
 
 // solveRatio runs the clustered annealer and the classical reference on
 // the instance and returns the optimal ratio.
-func solveRatio(in *tsplib.Instance, strategy cluster.Strategy, mode clustered.Mode, seed uint64) (float64, clustered.Stats, error) {
-	res, err := clustered.Solve(in, clustered.Options{Strategy: strategy, Mode: mode, Seed: seed})
+func solveRatio(in *tsplib.Instance, strategy cluster.Strategy, mode clustered.Mode, seed uint64, workers int) (float64, clustered.Stats, error) {
+	res, err := clustered.Solve(in, clustered.Options{Strategy: strategy, Mode: mode, Seed: seed, Workers: workers})
 	if err != nil {
 		return 0, clustered.Stats{}, err
 	}

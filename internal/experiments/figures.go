@@ -115,13 +115,13 @@ func Fig7(cfg Config, datasets []string) ([]Fig7Row, error) {
 			return nil, err
 		}
 		row := Fig7Row{Dataset: name, N: fullN, SolvedN: in.N()}
-		base, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.Arbitrary}, 0, c.Seed+7)
+		base, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.Arbitrary}, 0, c.Seed+7, c.Workers)
 		if err != nil {
 			return nil, err
 		}
 		row.BaselineRatio = base
 		for _, pMax := range []int{2, 3, 4} {
-			ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: pMax}, 0, c.Seed+7)
+			ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: pMax}, 0, c.Seed+7, c.Workers)
 			if err != nil {
 				return nil, err
 			}

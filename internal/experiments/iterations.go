@@ -36,6 +36,7 @@ func AblationIterations(cfg Config) ([]IterationsRow, error) {
 			Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
 			Schedule: sched,
 			Seed:     c.Seed + 37,
+			Workers:  c.Workers,
 		})
 		if err != nil {
 			return nil, err

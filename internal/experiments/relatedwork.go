@@ -39,7 +39,7 @@ func RelatedWork(cfg Config) ([]RelatedWorkRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: 3}, clustered.ModeNoisyCIM, c.Seed+31)
+	ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: 3}, clustered.ModeNoisyCIM, c.Seed+31, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +111,7 @@ func AblationPrecision(cfg Config) ([]PrecisionRow, error) {
 			Strategy:   cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
 			Seed:       c.Seed + 33,
 			WeightBits: bits,
+			Workers:    c.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -50,6 +50,7 @@ func Stability(cfg Config, runs int) ([]StabilityRow, error) {
 				Mode:     cf.mode,
 				Seed:     c.Seed + 23, // fixed proposal stream
 				Fabric:   noise.NewFabric(1000 + uint64(run)),
+				Workers:  c.Workers,
 			})
 			if err != nil {
 				return nil, err

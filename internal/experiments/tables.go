@@ -46,7 +46,7 @@ func Table1(cfg Config) ([]Table1Row, error) {
 			return nil, err
 		}
 		for _, s := range Table1Strategies() {
-			ratio, _, err := solveRatio(in, s, 0, c.Seed+3)
+			ratio, _, err := solveRatio(in, s, 0, c.Seed+3, c.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -192,7 +192,7 @@ func Speedup(cfg Config) ([]SpeedupRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: 3}, 0, c.Seed+9)
+		ratio, _, err := solveRatio(in, cluster.Strategy{Kind: cluster.SemiFlex, P: 3}, 0, c.Seed+9, c.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -46,26 +46,46 @@ func (f *Fabric) cellHash(cellID uint64) uint64 {
 	return x
 }
 
-// CellState reports whether the cell is vulnerable at supply vdd and
-// which bit value it prefers. Vulnerability is monotone: a cell
-// vulnerable at some V_DD stays vulnerable at every lower V_DD.
-func (f *Fabric) CellState(cellID uint64, vdd float64) (vulnerable bool, preferred uint8) {
-	h := f.cellHash(cellID)
-	preferred = uint8(h & 1)
-	// 53 uniform bits -> u in [0,1). Error rate = P(vulnerable)/2 over
-	// random data, so the vulnerability probability is 2*rate, capped.
-	u := float64(h>>11) / (1 << 53)
+// VulnProb returns the probability that a cell is vulnerable at supply
+// vdd. The error rate is over random stored data, so P(vulnerable) is
+// twice the rate, capped at 1. The conversion involves the error-model
+// sigmoid (an exp); hot paths that sweep many cells at one supply should
+// compute it once and use the *Prob variants below.
+func (f *Fabric) VulnProb(vdd float64) float64 {
 	p := 2 * f.Model.Rate(vdd)
 	if p > 1 {
 		p = 1
 	}
-	return u < p, preferred
+	return p
+}
+
+// CellState reports whether the cell is vulnerable at supply vdd and
+// which bit value it prefers. Vulnerability is monotone: a cell
+// vulnerable at some V_DD stays vulnerable at every lower V_DD.
+func (f *Fabric) CellState(cellID uint64, vdd float64) (vulnerable bool, preferred uint8) {
+	return f.CellStateProb(cellID, f.VulnProb(vdd))
+}
+
+// CellStateProb is CellState with the vulnerability probability already
+// converted from V_DD (see VulnProb).
+func (f *Fabric) CellStateProb(cellID uint64, vulnProb float64) (vulnerable bool, preferred uint8) {
+	h := f.cellHash(cellID)
+	preferred = uint8(h & 1)
+	// 53 uniform bits -> u in [0,1).
+	u := float64(h>>11) / (1 << 53)
+	return u < vulnProb, preferred
 }
 
 // ReadBit returns the value observed when pseudo-reading a cell that was
 // written with `stored` at supply vdd.
 func (f *Fabric) ReadBit(cellID uint64, stored uint8, vdd float64) uint8 {
-	vulnerable, preferred := f.CellState(cellID, vdd)
+	return f.ReadBitProb(cellID, stored, f.VulnProb(vdd))
+}
+
+// ReadBitProb is ReadBit with the vulnerability probability already
+// converted from V_DD (see VulnProb).
+func (f *Fabric) ReadBitProb(cellID uint64, stored uint8, vulnProb float64) uint8 {
+	vulnerable, preferred := f.CellStateProb(cellID, vulnProb)
 	if vulnerable {
 		return preferred
 	}
@@ -80,12 +100,23 @@ func (f *Fabric) ApplyToCode(code uint8, baseCellID uint64, vdd float64, nLSB in
 	if nLSB <= 0 {
 		return code
 	}
+	return f.ApplyToCodeProb(code, baseCellID, f.VulnProb(vdd), nLSB)
+}
+
+// ApplyToCodeProb is ApplyToCode with the vulnerability probability
+// already converted from V_DD (see VulnProb). Write-back epochs sweep
+// every cell of every window at one supply, so they pay the error-model
+// sigmoid once per window instead of once per cell.
+func (f *Fabric) ApplyToCodeProb(code uint8, baseCellID uint64, vulnProb float64, nLSB int) uint8 {
+	if nLSB <= 0 {
+		return code
+	}
 	if nLSB > fixed.Bits {
 		nLSB = fixed.Bits
 	}
 	out := code
 	for b := 0; b < nLSB; b++ {
-		out = fixed.SetBit(out, b, f.ReadBit(baseCellID+uint64(b), fixed.Bit(code, b), vdd))
+		out = fixed.SetBit(out, b, f.ReadBitProb(baseCellID+uint64(b), fixed.Bit(code, b), vulnProb))
 	}
 	return out
 }
