@@ -18,6 +18,8 @@
 package cimsa
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"cimsa/internal/clustered"
@@ -40,6 +42,11 @@ type Report = core.Report
 
 // ChipReport is the hardware performance/power/area estimate.
 type ChipReport = ppa.ChipReport
+
+// ProgressEvent is one solver progress notification: emitted at every
+// write-back epoch and at the end of every annealed level (see
+// Options.Progress).
+type ProgressEvent = clustered.ProgressEvent
 
 // Options selects the annealer design point.
 type Options struct {
@@ -68,10 +75,49 @@ type Options struct {
 	// Restarts runs that many independent replicas (distinct seeds and
 	// noise fabrics) and keeps the best tour; 0 or 1 means a single run.
 	Restarts int
+	// Progress, when non-nil, receives per-epoch and per-level progress
+	// events (with the restart index for multi-restart runs). The hook
+	// runs on the solve goroutine, only observes state — it cannot change
+	// the result — and must return quickly.
+	Progress func(ProgressEvent)
+}
+
+// Validate checks the options without running anything — the single
+// error path for every front end (CLI flags, service requests): a bad
+// design point is rejected here with a field-specific error instead of
+// failing deep inside the solver stack.
+func (o Options) Validate() error {
+	if o.PMax != 0 && (o.PMax < 2 || o.PMax > 8) {
+		return fmt.Errorf("cimsa: PMax %d out of range 2..8 (0 defaults to 3)", o.PMax)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("cimsa: negative Workers %d", o.Workers)
+	}
+	if o.Restarts < 0 {
+		return fmt.Errorf("cimsa: negative Restarts %d", o.Restarts)
+	}
+	if o.Mode != "" {
+		if _, err := clustered.ParseMode(o.Mode); err != nil {
+			return fmt.Errorf("cimsa: unknown Mode %q (noisy-cim | metropolis | greedy | noisy-spins)", o.Mode)
+		}
+	}
+	return nil
 }
 
 // Solve runs the clustered noisy-CIM annealer on the instance.
 func Solve(in *Instance, opt Options) (*Report, error) {
+	return SolveContext(context.Background(), in, opt)
+}
+
+// SolveContext is Solve with cancellation: ctx is checked between
+// chromatic phases and at write-back epochs, so even 100k-city solves
+// abort promptly. A run whose context is never cancelled is
+// bit-identical to Solve with the same options — the plumbing consumes
+// no randomness.
+func SolveContext(ctx context.Context, in *Instance, opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	mode := clustered.ModeNoisyCIM
 	if opt.Mode != "" {
 		m, err := clustered.ParseMode(opt.Mode)
@@ -88,14 +134,15 @@ func Solve(in *Instance, opt Options) (*Report, error) {
 		Parallel:           opt.Parallel,
 		Workers:            opt.Workers,
 		Restarts:           opt.Restarts,
+		Progress:           opt.Progress,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if opt.Reference {
-		return a.SolveWithReference(in)
+		return a.SolveWithReferenceContext(ctx, in)
 	}
-	return a.Solve(in)
+	return a.SolveContext(ctx, in)
 }
 
 // SolveName solves a built-in registry instance (e.g. "pcb3038",

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +36,7 @@ func main() {
 		restarts = flag.Int("restarts", 1, "independent replicas; the best tour wins")
 		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across a worker pool (GOMAXPROCS workers)")
 		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS with -parallel; results identical for any value)")
+		timeout  = flag.Duration("timeout", 0, "abort the solve after this long, e.g. 90s or 10m (0 = no limit)")
 		tourOut  = flag.String("tour", "", "write the visiting order to this file")
 		svgOut   = flag.String("svg", "", "render the tour to this SVG file")
 		noRef    = flag.Bool("noref", false, "skip the classical reference solver")
@@ -53,7 +56,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := cimsa.Solve(in, cimsa.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := cimsa.SolveContext(ctx, in, cimsa.Options{
 		PMax:         *pmax,
 		Seed:         *seed,
 		Reference:    !*noRef,
@@ -64,6 +73,9 @@ func main() {
 		Workers:      *workers,
 	})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("solve exceeded -timeout %v on %s (%d cities)", *timeout, in.Name, in.N())
+		}
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,79 @@
+// Command cimserve exposes the clustered noisy-CIM annealer as a
+// long-lived HTTP job service: clients submit TSP solves, poll or
+// stream progress, cancel runs, and scrape service metrics — many
+// clients multiplexed onto a bounded pool of solver slots, the way the
+// paper's chip time-multiplexes cluster windows onto one CIM array.
+//
+// Usage:
+//
+//	cimserve -addr :8080 -concurrency 4 -queue 128 -ttl 15m
+//
+// Submit a job:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"generate":{"name":"pcb-like","n":10000,"seed":7},
+//	  "options":{"pmax":3,"seed":1,"parallel":true,"skip_hardware":true}}'
+//
+// Stream its progress (SSE):
+//
+//	curl -N localhost:8080/v1/jobs/<id>/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cimsa/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cimserve: ")
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 2, "solver slots (jobs solving at once)")
+		queue       = flag.Int("queue", 64, "wait-queue depth; beyond it submissions get 429")
+		ttl         = flag.Duration("ttl", 15*time.Minute, "how long finished results stay fetchable")
+		maxN        = flag.Int("max-n", 200000, "largest instance (cities) accepted; 0 = unlimited")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before solves are cancelled")
+	)
+	flag.Parse()
+
+	sched := serve.NewScheduler(serve.Config{
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queue,
+		ResultTTL:     *ttl,
+	})
+	srv := serve.NewServer(sched)
+	srv.MaxN = *maxN
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("shutting down: draining for up to %v", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting connections first, then drain the solver queue.
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := sched.Shutdown(shutCtx); err != nil {
+			log.Printf("scheduler shutdown: %v (in-flight solves cancelled)", err)
+		}
+	}()
+
+	log.Printf("listening on %s (%d slots, queue %d, ttl %v)", *addr, *concurrency, *queue, *ttl)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+}

@@ -11,6 +11,7 @@
 package clustered
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -105,6 +106,35 @@ type Options struct {
 	// (1-8); 0 or 8 keeps full precision. Precision ablation for the
 	// paper's 8-bit design choice.
 	WeightBits int
+	// Progress, when non-nil, receives a ProgressEvent at every
+	// write-back epoch and once more when a level finishes. The hook is
+	// called from the solve goroutine between iterations (never
+	// concurrently) and only observes state, so setting it cannot change
+	// the result; it must return quickly or it stalls the solve.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent describes how far a solve has advanced. Events map onto
+// the paper's execution structure: one event per (level, write-back
+// epoch) pair — the granularity at which the hardware reloads its
+// weight windows — plus a final event per level with Iter == Iters.
+type ProgressEvent struct {
+	// Restart is the replica index for multi-restart solves (filled by
+	// package core; always 0 for a direct clustered.Solve).
+	Restart int `json:"restart"`
+	// Level is the annealed level index, 0 = the first (topmost)
+	// annealed level; Levels is the total annealed level count.
+	Level  int `json:"level"`
+	Levels int `json:"levels"`
+	// Iter is the number of completed iterations at this level; Iters is
+	// the level's total (Iter == Iters marks the level done).
+	Iter  int `json:"iter"`
+	Iters int `json:"iters"`
+	// Clusters is the number of cluster windows at this level.
+	Clusters int `json:"clusters"`
+	// Objective is the level's current true objective (closed path over
+	// all children in centroid-distance units, noise-free).
+	Objective float64 `json:"objective"`
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +208,15 @@ type Result struct {
 
 // Solve runs the clustered annealer on the instance.
 func Solve(in *tsplib.Instance, opt Options) (Result, error) {
+	return SolveContext(context.Background(), in, opt)
+}
+
+// SolveContext is Solve with cancellation: ctx is checked between
+// chromatic phases and at write-back epochs, so cancellation is prompt
+// even on 100k-city instances, and the partially annealed state is
+// simply discarded. A run whose context is never cancelled is
+// bit-identical to Solve — the checks consume no randomness.
+func SolveContext(ctx context.Context, in *tsplib.Instance, opt Options) (Result, error) {
 	o := opt.withDefaults()
 	if err := o.Schedule.Validate(); err != nil {
 		return Result{}, err
@@ -203,9 +242,13 @@ func Solve(in *tsplib.Instance, opt Options) (Result, error) {
 	ex := newExecutor(o)
 	defer ex.close()
 	var traces [][]float64
-	for li := h.NumLevels() - 1; li >= 1; li-- {
+	annealed := h.NumLevels() - 1
+	for li := annealed; li >= 1; li-- {
 		var trace []float64
-		nodes, trace = annealLevel(nodes, li, o, &stats, ex)
+		nodes, trace, err = annealLevel(ctx, nodes, li, annealed-li, annealed, o, &stats, ex)
+		if err != nil {
+			return Result{}, err
+		}
 		if o.RecordTrace {
 			traces = append(traces, trace)
 		}
@@ -279,8 +322,11 @@ func (c *clusterState) firstElem() int { return c.order[0] }
 func (c *clusterState) lastElem() int  { return c.order[len(c.order)-1] }
 
 // annealLevel orders the children of each node and returns the expanded
-// child sequence plus (when requested) the objective trace.
-func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *executor) ([]*cluster.Node, []float64) {
+// child sequence plus (when requested) the objective trace. levelIdx
+// and levels position the level among the annealed levels (top-down)
+// for progress reporting; ctx aborts the level between phases and at
+// write-back epochs.
+func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, levels int, o Options, stats *Stats, ex *executor) ([]*cluster.Node, []float64, error) {
 	nc := len(nodes)
 	state := &levelState{clusters: make([]*clusterState, nc)}
 	for ci, n := range nodes {
@@ -315,12 +361,26 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *
 	iters := o.Schedule.TotalIters()
 	temp := metropolisTemp(state)
 	transfersPerIter := boundaryTransfersPerIter(state)
+	// emit reports progress at write-back-epoch granularity; the hook
+	// only observes state, so results are identical with or without it.
+	emit := func(iter int) {
+		if o.Progress != nil {
+			o.Progress(ProgressEvent{
+				Level: levelIdx, Levels: levels,
+				Iter: iter, Iters: iters, Clusters: nc,
+				Objective: ex.levelObjective(state),
+			})
+		}
+	}
 	var trace []float64
 	job := &ex.job
 	job.state = state
 	job.level = level
 	job.opt = &o
 	for iter := 0; iter < iters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
+		}
 		vdd, nLSB := o.Schedule.At(iter)
 		if iter%o.Schedule.EpochIters == 0 {
 			// Write-back + pseudo-read epoch; windows are independent, so
@@ -334,6 +394,7 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *
 				job.vdd, job.nLSB = 0.8, 0
 			}
 			ex.dispatch(job, nc)
+			emit(iter)
 		}
 		tFrac := 1 - float64(iter)/float64(iters)
 		job.kind = jobUpdatePhase
@@ -344,6 +405,9 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *
 			job.vulnProb = o.Fabric.VulnProb(vdd)
 		}
 		for _, phase := range phases {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
+			}
 			job.phase = phase
 			ex.dispatch(job, len(phase))
 		}
@@ -356,6 +420,7 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *
 	ex.mergeShards(stats)
 	stats.Levels++
 	stats.Iterations += iters
+	emit(iters)
 
 	// Expand: children in final order, clusters in cycle order.
 	var out []*cluster.Node
@@ -364,7 +429,7 @@ func annealLevel(nodes []*cluster.Node, level int, o Options, stats *Stats, ex *
 			out = append(out, cs.node.Children[childIdx])
 		}
 	}
-	return out, trace
+	return out, trace, nil
 }
 
 // boundaryTransfersPerIter counts the bits crossing inter-array links in

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cimsa/internal/clustered"
+	"cimsa/internal/tsplib"
+)
+
+// Multi-restart progress events carry the replica index, one full
+// event sequence per replica in order.
+func TestProgressCarriesRestartIndex(t *testing.T) {
+	in := tsplib.Generate("core-progress", 200, tsplib.StyleUniform, 6)
+	var restarts []int
+	a, err := New(Config{
+		Seed:               3,
+		Restarts:           3,
+		SkipHardwareReport: true,
+		Progress: func(ev clustered.ProgressEvent) {
+			restarts = append(restarts, ev.Restart)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Solve(in); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	last := 0
+	for i, r := range restarts {
+		if r < last {
+			t.Fatalf("event %d goes back to restart %d after %d", i, r, last)
+		}
+		last = r
+		seen[r] = true
+	}
+	for rep := 0; rep < 3; rep++ {
+		if !seen[rep] {
+			t.Fatalf("no events for restart %d", rep)
+		}
+	}
+}
+
+// Cancellation between restarts stops the remaining replicas.
+func TestSolveContextCancelsAcrossRestarts(t *testing.T) {
+	in := tsplib.Generate("core-cancel", 200, tsplib.StyleUniform, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	a, err := New(Config{
+		Seed:               3,
+		Restarts:           50,
+		SkipHardwareReport: true,
+		Progress: func(ev clustered.ProgressEvent) {
+			if ev.Restart == 1 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.SolveContext(ctx, in)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cimsa/internal/cluster"
@@ -46,6 +47,11 @@ type Config struct {
 	// seeds and noise fabrics) and keeps the best tour — the software
 	// analogue of multi-replica annealer chips. 0 or 1 means one run.
 	Restarts int
+	// Progress, when non-nil, receives the solver's per-epoch and
+	// per-level progress events with ProgressEvent.Restart filled in
+	// (multi-restart solves emit one full event sequence per replica).
+	// The hook runs on the solve goroutine and must be fast.
+	Progress func(clustered.ProgressEvent)
 }
 
 // Annealer is a configured solver.
@@ -104,6 +110,14 @@ type Report struct {
 
 // Solve runs the annealer on the instance.
 func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
+	return a.SolveContext(context.Background(), in)
+}
+
+// SolveContext is Solve with cancellation: ctx is threaded into every
+// replica's solve, where it is checked between chromatic phases and at
+// write-back epochs. A run whose context is never cancelled is
+// bit-identical to Solve.
+func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Report, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -123,11 +137,19 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 			Parallel: a.cfg.Parallel,
 			Workers:  a.cfg.Workers,
 		}
+		if a.cfg.Progress != nil {
+			replica := rep
+			progress := a.cfg.Progress
+			opts.Progress = func(ev clustered.ProgressEvent) {
+				ev.Restart = replica
+				progress(ev)
+			}
+		}
 		if rep > 0 {
 			// Each replica is a distinct chip: new fabric, new errors.
 			opts.Fabric = noise.NewFabric(seed ^ 0xfab)
 		}
-		cur, err := clustered.Solve(in, opts)
+		cur, err := clustered.SolveContext(ctx, in, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +190,14 @@ func (a *Annealer) Solve(in *tsplib.Instance) (*Report, error) {
 // SolveWithReference runs the annealer and the classical reference
 // solver, filling in the optimal ratio.
 func (a *Annealer) SolveWithReference(in *tsplib.Instance) (*Report, error) {
-	rep, err := a.Solve(in)
+	return a.SolveWithReferenceContext(context.Background(), in)
+}
+
+// SolveWithReferenceContext is SolveWithReference with cancellation.
+// The annealing phase honours ctx; the classical reference solver runs
+// only after it completes and is not interruptible.
+func (a *Annealer) SolveWithReferenceContext(ctx context.Context, in *tsplib.Instance) (*Report, error) {
+	rep, err := a.SolveContext(ctx, in)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"cimsa"
+)
+
+// Server is the HTTP front end over a Scheduler.
+//
+// Endpoints (see README "Solve service"):
+//
+//	POST   /v1/jobs             submit a job -> 202 + status JSON
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/events SSE progress stream (replay + live)
+//	GET    /v1/jobs/{id}/result finished report (409 until terminal)
+//	POST   /v1/jobs/{id}/cancel cancel (DELETE /v1/jobs/{id} is an alias)
+//	GET    /metrics             Prometheus text metrics
+//	GET    /healthz             liveness probe
+type Server struct {
+	sched *Scheduler
+	// MaxN rejects instances above this city count before they reach the
+	// queue (0 = unlimited). Untrusted clients can otherwise queue
+	// arbitrarily large solves.
+	MaxN int
+	// MaxBodyBytes bounds request bodies (default 32 MiB — TSPLIB
+	// uploads are line-oriented text and 100k cities fit comfortably).
+	MaxBodyBytes int64
+}
+
+// NewServer wraps a scheduler.
+func NewServer(sched *Scheduler) *Server {
+	return &Server{sched: sched, MaxBodyBytes: 32 << 20}
+}
+
+// SubmitRequest selects exactly one instance source plus the solve
+// options.
+type SubmitRequest struct {
+	// Name solves a built-in registry instance (e.g. "pcb3038").
+	Name string `json:"name,omitempty"`
+	// TSPLIB is a raw TSPLIB95 .tsp file body.
+	TSPLIB string `json:"tsplib,omitempty"`
+	// Generate synthesizes an instance deterministically.
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Options is the full solver design point.
+	Options OptionsSpec `json:"options"`
+}
+
+// GenerateSpec describes a synthetic instance: the name picks the
+// spatial style ("pcb...", "rl...", "pla...", "usa...", else uniform).
+type GenerateSpec struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+}
+
+// OptionsSpec mirrors cimsa.Options for the wire.
+type OptionsSpec struct {
+	PMax         int    `json:"pmax,omitempty"`
+	Seed         uint64 `json:"seed,omitempty"`
+	Mode         string `json:"mode,omitempty"`
+	Restarts     int    `json:"restarts,omitempty"`
+	Parallel     bool   `json:"parallel,omitempty"`
+	Workers      int    `json:"workers,omitempty"`
+	Reference    bool   `json:"reference,omitempty"`
+	SkipHardware bool   `json:"skip_hardware,omitempty"`
+}
+
+func (o OptionsSpec) toOptions() cimsa.Options {
+	return cimsa.Options{
+		PMax:         o.PMax,
+		Seed:         o.Seed,
+		Mode:         o.Mode,
+		Restarts:     o.Restarts,
+		Parallel:     o.Parallel,
+		Workers:      o.Workers,
+		Reference:    o.Reference,
+		SkipHardware: o.SkipHardware,
+	}
+}
+
+// ResultResponse is the finished-job payload: the status plus the full
+// solver report (tour, statistics, hardware estimate).
+type ResultResponse struct {
+	Status
+	Report *cimsa.Report `json:"report"`
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	maxBody := s.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	in, err := s.buildInstance(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.MaxN > 0 && in.N() > s.MaxN {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("instance has %d cities; this server accepts at most %d", in.N(), s.MaxN))
+		return
+	}
+	job, err := s.sched.Submit(in, req.Options.toOptions())
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// buildInstance resolves the request's instance source (exactly one of
+// name / tsplib / generate must be set).
+func (s *Server) buildInstance(req *SubmitRequest) (*cimsa.Instance, error) {
+	sources := 0
+	for _, set := range []bool{req.Name != "", req.TSPLIB != "", req.Generate != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("specify exactly one of name, tsplib, generate (got %d)", sources)
+	}
+	switch {
+	case req.Name != "":
+		return cimsa.LoadNamed(req.Name)
+	case req.TSPLIB != "":
+		return cimsa.LoadInstance(strings.NewReader(req.TSPLIB))
+	default:
+		g := req.Generate
+		if g.N < 3 {
+			return nil, fmt.Errorf("generate.n must be >= 3, got %d", g.N)
+		}
+		if s.MaxN > 0 && g.N > s.MaxN {
+			return nil, fmt.Errorf("generate.n %d exceeds the server limit %d", g.N, s.MaxN)
+		}
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("gen%d", g.N)
+		}
+		return cimsa.GenerateInstance(name, g.N, g.Seed), nil
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.List()})
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.sched.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := job.Status()
+	if !st.State.Terminal() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; result not ready", st.ID, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Status: st, Report: job.Report()})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	s.sched.Cancel(job.ID)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.sched.Metrics.WriteTo(w)
+}
+
+// handleEvents streams the job's event history and then live events as
+// SSE until the terminal event, the client disconnecting, or the
+// stream being unsupported. Events map one-to-one onto the solver's
+// write-back epochs plus one per finished level and a final terminal
+// frame; each frame is "event: <type>", "id: <seq>" and a JSON data
+// payload (the Event schema).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, unsub := job.Subscribe()
+	defer unsub()
+	for _, ev := range replay {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	return err
+}

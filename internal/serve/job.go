@@ -1,0 +1,203 @@
+// Package serve turns the annealer into a long-lived shared service:
+// clients submit solve jobs over HTTP, a bounded-concurrency scheduler
+// multiplexes them onto a fixed pool of solver slots (the software
+// analogue of many users time-sharing one annealer chip), progress
+// streams out as server-sent events at the solver's write-back-epoch
+// granularity, and finished results are retained for a TTL.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"cimsa"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's event stream (an SSE frame on the
+// wire). Type "progress" carries a solver ProgressEvent; the terminal
+// types "done", "failed" and "canceled" close the stream, with Length
+// set on "done" and Error on "failed".
+type Event struct {
+	Type     string               `json:"type"`
+	Seq      int                  `json:"seq"`
+	Job      string               `json:"job"`
+	Progress *cimsa.ProgressEvent `json:"progress,omitempty"`
+	Length   float64              `json:"length,omitempty"`
+	Error    string               `json:"error,omitempty"`
+}
+
+// maxReplayEvents bounds each job's event replay buffer; the oldest
+// events are evicted first (a job with huge Restarts would otherwise
+// accumulate one event per replica epoch without bound).
+const maxReplayEvents = 512
+
+// Job is one submitted solve tracked by the scheduler.
+type Job struct {
+	// ID is the job's opaque identifier.
+	ID string
+
+	in   *cimsa.Instance
+	opts cimsa.Options
+
+	// ctx is the solve's context; cancel aborts it (set at creation,
+	// immutable afterwards).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// done is closed exactly once when the job reaches a terminal state.
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	expires   time.Time
+	report    *cimsa.Report
+	err       error
+	seq       int
+	events    []Event
+	evicted   int
+	subs      map[chan Event]struct{}
+}
+
+// Status is the wire representation of a job's current state.
+type Status struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Instance  string     `json:"instance"`
+	N         int        `json:"n"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Length and OptimalRatio are filled once the job is done.
+	Length       float64 `json:"length,omitempty"`
+	OptimalRatio float64 `json:"optimal_ratio,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job for status responses.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Instance:  j.in.Name,
+		N:         j.in.N(),
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.report != nil {
+		st.Length = j.report.Length
+		st.OptimalRatio = j.report.OptimalRatio
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Report returns the finished report, or nil while the job is not done.
+func (j *Job) Report() *cimsa.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// publish appends an event to the replay buffer and fans it out to the
+// live subscribers. Slow subscribers lose events rather than stalling
+// the solve (their channel send is non-blocking); the replay buffer
+// keeps the most recent maxReplayEvents.
+func (j *Job) publish(typ string, progress *cimsa.ProgressEvent, length float64, errMsg string) {
+	j.mu.Lock()
+	j.seq++
+	ev := Event{Type: typ, Seq: j.seq, Job: j.ID, Progress: progress, Length: length, Error: errMsg}
+	j.events = append(j.events, ev)
+	if len(j.events) > maxReplayEvents {
+		drop := len(j.events) - maxReplayEvents
+		j.events = append(j.events[:0], j.events[drop:]...)
+		j.evicted += drop
+	}
+	subs := make([]chan Event, 0, len(j.subs))
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	terminal := State("")
+	switch typ {
+	case "done":
+		terminal = StateDone
+	case "failed":
+		terminal = StateFailed
+	case "canceled":
+		terminal = StateCanceled
+	}
+	if terminal != "" {
+		// Terminal event: detach every subscriber; each channel is closed
+		// after its final send so streams end after draining.
+		j.subs = nil
+	}
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+		if terminal != "" {
+			close(ch)
+		}
+	}
+}
+
+// Subscribe returns the replayable history, a channel of future events
+// (closed after the terminal event), and an unsubscribe function. A
+// subscriber attaching after the job finished gets the full replay and
+// an already-closed channel.
+func (j *Job) Subscribe() (replay []Event, ch chan Event, unsub func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]Event(nil), j.events...)
+	ch = make(chan Event, 128)
+	if j.state.Terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = map[chan Event]struct{}{}
+	}
+	j.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		j.mu.Lock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+		}
+		j.mu.Unlock()
+	}
+}

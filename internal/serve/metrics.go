@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Metrics holds the service counters in a Prometheus-compatible text
+// exposition (hand-rolled: the module takes no dependencies). Gauges
+// track the live queue/slot occupancy; counters are monotonic.
+type Metrics struct {
+	Submitted atomic.Int64 // jobs accepted into the queue
+	Rejected  atomic.Int64 // jobs refused with queue-full backpressure
+	Queued    atomic.Int64 // gauge: jobs waiting for a slot
+	Running   atomic.Int64 // gauge: jobs occupying a solver slot
+	Done      atomic.Int64 // jobs finished successfully
+	Failed    atomic.Int64 // jobs finished with an error
+	Canceled  atomic.Int64 // jobs canceled (queued or running)
+
+	// solveNanos and iterations accumulate over completed solves; their
+	// ratio is the service's aggregate iterations/sec.
+	solveNanos atomic.Int64
+	iterations atomic.Int64
+}
+
+// ObserveSolve records a completed solve's latency and iteration count.
+func (m *Metrics) ObserveSolve(nanos int64, iterations int) {
+	m.solveNanos.Add(nanos)
+	m.iterations.Add(int64(iterations))
+}
+
+// WriteTo emits the Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	emit := func(name, kind, help string, v float64) error {
+		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			name, help, name, kind, name, formatMetric(v))
+		n += int64(c)
+		return err
+	}
+	secs := float64(m.solveNanos.Load()) / 1e9
+	iters := float64(m.iterations.Load())
+	ips := 0.0
+	if secs > 0 {
+		ips = iters / secs
+	}
+	for _, row := range []struct {
+		name, kind, help string
+		v                float64
+	}{
+		{"cimserve_jobs_submitted_total", "counter", "Jobs accepted into the queue.", float64(m.Submitted.Load())},
+		{"cimserve_jobs_rejected_total", "counter", "Jobs refused with queue-full backpressure (HTTP 429).", float64(m.Rejected.Load())},
+		{"cimserve_jobs_queued", "gauge", "Jobs currently waiting for a solver slot.", float64(m.Queued.Load())},
+		{"cimserve_jobs_running", "gauge", "Jobs currently occupying a solver slot.", float64(m.Running.Load())},
+		{"cimserve_jobs_done_total", "counter", "Jobs finished successfully.", float64(m.Done.Load())},
+		{"cimserve_jobs_failed_total", "counter", "Jobs finished with a solver error.", float64(m.Failed.Load())},
+		{"cimserve_jobs_canceled_total", "counter", "Jobs canceled while queued or running.", float64(m.Canceled.Load())},
+		{"cimserve_solve_seconds_total", "counter", "Wall-clock seconds spent in completed solves.", secs},
+		{"cimserve_solve_iterations_total", "counter", "Annealing iterations performed by completed solves.", iters},
+		{"cimserve_solve_iterations_per_second", "gauge", "Aggregate annealing throughput over completed solves.", ips},
+	} {
+		if err := emit(row.name, row.kind, row.help, row.v); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// formatMetric renders integers without an exponent and floats tersely.
+func formatMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

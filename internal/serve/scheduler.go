@@ -1,0 +1,352 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cimsa"
+)
+
+// SolveFunc runs one job's solve. Production uses cimsa.SolveContext;
+// tests substitute stubs to script timing.
+type SolveFunc func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error)
+
+// Config sizes the scheduler.
+type Config struct {
+	// MaxConcurrent is the number of solver slots — jobs solving at
+	// once, each with its own worker pool (default 2). This mirrors the
+	// chip's structure: a fixed set of annealer replicas time-shared by
+	// all clients.
+	MaxConcurrent int
+	// QueueDepth bounds the jobs waiting for a slot (default 64).
+	// Submissions beyond it are rejected immediately (backpressure)
+	// rather than buffered without bound.
+	QueueDepth int
+	// ResultTTL is how long a finished job (and its result) stays
+	// fetchable before the janitor removes it (default 15 minutes).
+	ResultTTL time.Duration
+	// SweepEvery is the janitor period (default 30s).
+	SweepEvery time.Duration
+
+	// solve and now are test seams; nil means cimsa.SolveContext and
+	// time.Now.
+	solve SolveFunc
+	now   func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 30 * time.Second
+	}
+	if c.solve == nil {
+		c.solve = func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+			return cimsa.SolveContext(ctx, in, opts)
+		}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull means the wait queue is at QueueDepth (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrShuttingDown means the scheduler no longer accepts jobs (503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Scheduler multiplexes solve jobs onto a bounded pool of solver slots
+// with a FIFO wait queue, a TTL'd result store and graceful shutdown.
+type Scheduler struct {
+	cfg     Config
+	Metrics Metrics
+
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	workers     sync.WaitGroup
+	janitorStop chan struct{}
+	idSeq       atomic.Int64
+}
+
+// NewScheduler starts the worker slots and the TTL janitor.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:         cfg,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        map[string]*Job{},
+		janitorStop: make(chan struct{}),
+	}
+	s.workers.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go s.worker()
+	}
+	go s.janitor()
+	return s
+}
+
+func (s *Scheduler) newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; the counter
+		// alone still yields unique IDs if it somehow does.
+		copy(b[:], "status")
+	}
+	return fmt.Sprintf("j%04d-%s", s.idSeq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// Submit validates and enqueues a job. The instance and options are
+// owned by the scheduler afterwards and must not be mutated.
+func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		ID:     s.newID(),
+		in:     in,
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  StateQueued,
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrShuttingDown
+	}
+	job.submitted = s.cfg.now()
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.mu.Unlock()
+		s.Metrics.Submitted.Add(1)
+		s.Metrics.Queued.Add(1)
+		return job, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.Metrics.Rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List snapshots every tracked job, oldest submission first.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Submitted.Equal(out[k].Submitted) {
+			return out[i].Submitted.Before(out[k].Submitted)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Cancel aborts a job. A queued job is finalized immediately (the
+// worker that later pops it skips it); a running job's solve context is
+// cancelled and the slot's worker finalizes it as soon as the solver
+// observes the cancellation (between chromatic phases, so promptly).
+// Cancelling a finished job is a no-op. Returns false if the ID is
+// unknown.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	job.cancel()
+	job.mu.Lock()
+	if job.state != StateQueued {
+		job.mu.Unlock()
+		return true
+	}
+	job.state = StateCanceled
+	job.err = context.Canceled
+	job.finished = s.cfg.now()
+	job.expires = job.finished.Add(s.cfg.ResultTTL)
+	job.mu.Unlock()
+	s.Metrics.Queued.Add(-1)
+	s.Metrics.Canceled.Add(1)
+	job.publish("canceled", nil, 0, "")
+	close(job.done)
+	return true
+}
+
+func (s *Scheduler) worker() {
+	defer s.workers.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+// run executes one job on the calling worker's slot.
+func (s *Scheduler) run(job *Job) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		// Canceled while queued; Cancel already finalized it and fixed
+		// the gauges.
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = s.cfg.now()
+	job.mu.Unlock()
+	s.Metrics.Queued.Add(-1)
+	s.Metrics.Running.Add(1)
+
+	opts := job.opts
+	opts.Progress = func(ev cimsa.ProgressEvent) {
+		pe := ev
+		job.publish("progress", &pe, 0, "")
+	}
+	start := s.cfg.now()
+	rep, err := s.cfg.solve(job.ctx, job.in, opts)
+	elapsed := s.cfg.now().Sub(start)
+	s.Metrics.Running.Add(-1)
+
+	job.mu.Lock()
+	job.finished = s.cfg.now()
+	job.expires = job.finished.Add(s.cfg.ResultTTL)
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.report = rep
+		job.mu.Unlock()
+		s.Metrics.Done.Add(1)
+		s.Metrics.ObserveSolve(elapsed.Nanoseconds(), rep.Solver.Iterations)
+		job.publish("done", nil, rep.Length, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCanceled
+		job.err = err
+		job.mu.Unlock()
+		s.Metrics.Canceled.Add(1)
+		job.publish("canceled", nil, 0, "")
+	default:
+		job.state = StateFailed
+		job.err = err
+		job.mu.Unlock()
+		s.Metrics.Failed.Add(1)
+		job.publish("failed", nil, 0, err.Error())
+	}
+	close(job.done)
+}
+
+// janitor periodically expires finished jobs past their TTL.
+func (s *Scheduler) janitor() {
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweep()
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// sweep removes finished jobs whose TTL has lapsed, returning how many
+// were evicted. (Exported behaviour is via the janitor; tests call it
+// directly.)
+func (s *Scheduler) sweep() int {
+	now := s.cfg.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for id, job := range s.jobs {
+		job.mu.Lock()
+		expired := job.state.Terminal() && now.After(job.expires)
+		job.mu.Unlock()
+		if expired {
+			delete(s.jobs, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Shutdown stops accepting jobs and drains: queued jobs still run, and
+// in-flight solves finish, as long as ctx allows. When ctx expires
+// every outstanding job is cancelled (the solvers abort between
+// chromatic phases) and Shutdown returns ctx.Err() once the workers
+// exit. Safe to call once.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workers.Wait()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	close(s.janitorStop)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		ids := make([]string, 0, len(s.jobs))
+		for id := range s.jobs {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		for _, id := range ids {
+			s.Cancel(id)
+		}
+		<-drained
+		return ctx.Err()
+	}
+}

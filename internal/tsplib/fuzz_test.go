@@ -14,6 +14,14 @@ func FuzzParse(f *testing.F) {
 	f.Add("TYPE : TSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : GEO\nNODE_COORD_SECTION\n1 40.1 -74.5\n2 33.2 -112.1\n3 41.9 -87.6\nEOF\n")
 	f.Add("garbage\n")
 	f.Add("")
+	// Hostile declarations the hardened parser must reject cheaply: the
+	// solve service feeds this parser raw request bodies.
+	f.Add("TYPE : TSP\nDIMENSION : 999999999999999999\nNODE_COORD_SECTION\n1 0 0\nEOF\n")
+	f.Add("TYPE : TSP\nDIMENSION : -7\nNODE_COORD_SECTION\n1 0 0\nEOF\n")
+	f.Add("TYPE : TSP\nDIMENSION : 0\nEOF\n")
+	f.Add("TYPE : TSP\nDIMENSION : 2\nNODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\nEOF\n")
+	f.Add("TYPE : TSP\nNODE_COORD_SECTION\n0 0 0\n1 1 0\n2 0 1\nEOF\n")
+	f.Add("TYPE : TSP\nDIMENSION : 99999\nEDGE_WEIGHT_TYPE : EXPLICIT\nEDGE_WEIGHT_FORMAT : FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 1 1 0\nEOF\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		in, err := Parse(strings.NewReader(src))
 		if err != nil {

@@ -54,6 +54,19 @@ func (f weightFormat) entryCount(n int) int {
 	}
 }
 
+// MaxDimension bounds the DIMENSION a parsed file may declare. The
+// parser handles untrusted input (the solve service feeds it raw
+// request bodies), so absurd declarations are rejected up front with a
+// clear error instead of driving huge allocations downstream. The
+// paper's largest workload is 85,900 cities; ten million leaves two
+// orders of magnitude of headroom.
+const MaxDimension = 10_000_000
+
+// maxExplicitDimension bounds EXPLICIT-matrix instances separately: the
+// materialized dim×dim matrix (and the MDS embedding when no display
+// coordinates are given) is quadratic in memory and time.
+const maxExplicitDimension = 32768
+
 // section identifies which data block the parser is inside.
 type section int
 
@@ -109,6 +122,11 @@ func Parse(r io.Reader) (*Instance, error) {
 					return nil, fmt.Errorf("tsplib: duplicate node id %d", id)
 				}
 				target[id] = pt
+				// Fail at the first excess coordinate rather than after
+				// buffering an arbitrarily long section.
+				if declaredDim > 0 && len(target) > declaredDim {
+					return nil, fmt.Errorf("tsplib: more than DIMENSION %d coordinates", declaredDim)
+				}
 			case secWeights:
 				for _, field := range strings.Fields(line) {
 					v, err := strconv.ParseFloat(field, 64)
@@ -116,6 +134,12 @@ func Parse(r io.Reader) (*Instance, error) {
 						return nil, fmt.Errorf("tsplib: bad weight %q: %v", field, err)
 					}
 					weights = append(weights, v)
+				}
+				// Fail at the first excess entry rather than buffering an
+				// arbitrarily long section.
+				if declaredDim > 0 && format != formatNone && len(weights) > format.entryCount(declaredDim) {
+					return nil, fmt.Errorf("tsplib: EDGE_WEIGHT_SECTION exceeds the %d entries DIMENSION %d needs",
+						format.entryCount(declaredDim), declaredDim)
 				}
 			}
 			continue
@@ -138,6 +162,9 @@ func Parse(r io.Reader) (*Instance, error) {
 			d, err := strconv.Atoi(keywordValue(line))
 			if err != nil {
 				return nil, fmt.Errorf("tsplib: bad DIMENSION: %v", err)
+			}
+			if d < 1 || d > MaxDimension {
+				return nil, fmt.Errorf("tsplib: DIMENSION %d out of range [1, %d]", d, MaxDimension)
 			}
 			declaredDim = d
 		case strings.HasPrefix(upper, "EDGE_WEIGHT_TYPE"):
@@ -181,7 +208,7 @@ func Parse(r io.Reader) (*Instance, error) {
 	if len(coords) == 0 {
 		return nil, fmt.Errorf("tsplib: no NODE_COORD_SECTION data")
 	}
-	if declaredDim >= 0 && declaredDim != len(coords) {
+	if declaredDim > 0 && declaredDim != len(coords) {
 		return nil, fmt.Errorf("tsplib: DIMENSION %d but %d coordinates", declaredDim, len(coords))
 	}
 	in.Cities = coordsInOrder(coords)
@@ -210,6 +237,9 @@ func coordsInOrder(coords map[int]geom.Point) []geom.Point {
 func assembleExplicit(in *Instance, dim int, format weightFormat, weights []float64, display map[int]geom.Point) (*Instance, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("tsplib: EXPLICIT instance needs DIMENSION")
+	}
+	if dim > maxExplicitDimension {
+		return nil, fmt.Errorf("tsplib: EXPLICIT DIMENSION %d exceeds the %d limit (the full matrix is quadratic)", dim, maxExplicitDimension)
 	}
 	if format == formatNone {
 		return nil, fmt.Errorf("tsplib: EXPLICIT instance needs EDGE_WEIGHT_FORMAT")
@@ -302,6 +332,9 @@ func parseCoordLine(line string) (int, geom.Point, error) {
 	id, err := strconv.Atoi(fields[0])
 	if err != nil {
 		return 0, geom.Point{}, fmt.Errorf("tsplib: bad node id in %q: %v", line, err)
+	}
+	if id < 1 || id > MaxDimension {
+		return 0, geom.Point{}, fmt.Errorf("tsplib: node id %d out of range [1, %d]", id, MaxDimension)
 	}
 	x, err := strconv.ParseFloat(fields[1], 64)
 	if err != nil {

@@ -1,0 +1,92 @@
+package tsplib
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parser handles untrusted input (the solve service feeds it raw
+// request bodies); these cases must fail with clear errors instead of
+// huge allocations or silent truncation.
+func TestParseRejectsHostileInput(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "dimension far beyond the cap",
+			src:     "TYPE : TSP\nDIMENSION : 999999999999999999\nNODE_COORD_SECTION\n1 0 0\nEOF\n",
+			wantErr: "DIMENSION",
+		},
+		{
+			name:    "dimension just beyond the cap",
+			src:     "TYPE : TSP\nDIMENSION : 10000001\nNODE_COORD_SECTION\n1 0 0\nEOF\n",
+			wantErr: "out of range",
+		},
+		{
+			name:    "negative dimension",
+			src:     "TYPE : TSP\nDIMENSION : -7\nNODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\nEOF\n",
+			wantErr: "out of range",
+		},
+		{
+			name:    "zero dimension",
+			src:     "TYPE : TSP\nDIMENSION : 0\nNODE_COORD_SECTION\n1 0 0\nEOF\n",
+			wantErr: "out of range",
+		},
+		{
+			name:    "fewer coordinates than declared",
+			src:     "TYPE : TSP\nDIMENSION : 5\nNODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\nEOF\n",
+			wantErr: "DIMENSION 5 but 3 coordinates",
+		},
+		{
+			name:    "more coordinates than declared",
+			src:     "TYPE : TSP\nDIMENSION : 3\nNODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\n4 2 2\nEOF\n",
+			wantErr: "more than DIMENSION",
+		},
+		{
+			name:    "zero node id",
+			src:     "TYPE : TSP\nNODE_COORD_SECTION\n0 0 0\n1 1 0\n2 0 1\nEOF\n",
+			wantErr: "node id 0",
+		},
+		{
+			name:    "negative node id",
+			src:     "TYPE : TSP\nNODE_COORD_SECTION\n-5 0 0\n1 1 0\n2 0 1\nEOF\n",
+			wantErr: "node id -5",
+		},
+		{
+			name: "explicit matrix dimension beyond the quadratic cap",
+			src: "TYPE : TSP\nDIMENSION : 40000\nEDGE_WEIGHT_TYPE : EXPLICIT\n" +
+				"EDGE_WEIGHT_FORMAT : FULL_MATRIX\nEDGE_WEIGHT_SECTION\n0 1 1 0\nEOF\n",
+			wantErr: "EXPLICIT DIMENSION",
+		},
+		{
+			name: "weight section longer than the format needs",
+			src: "TYPE : TSP\nDIMENSION : 3\nEDGE_WEIGHT_TYPE : EXPLICIT\n" +
+				"EDGE_WEIGHT_FORMAT : UPPER_ROW\nEDGE_WEIGHT_SECTION\n1 2 3 4 5 6 7\nEOF\n",
+			wantErr: "exceeds",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.src))
+			if err == nil {
+				t.Fatalf("hostile input accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// A well-formed file at a realistic size still parses after hardening.
+func TestParseAcceptsDeclaredDimension(t *testing.T) {
+	src := "NAME : ok\nTYPE : TSP\nDIMENSION : 4\nEDGE_WEIGHT_TYPE : EUC_2D\n" +
+		"NODE_COORD_SECTION\n1 0 0\n2 1 0\n3 0 1\n4 1 1\nEOF\n"
+	in, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 4 {
+		t.Fatalf("parsed %d cities", in.N())
+	}
+}
