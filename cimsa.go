@@ -66,7 +66,10 @@ type Options struct {
 	Parallel bool
 	// Workers sets the worker-pool size explicitly (0 picks GOMAXPROCS
 	// when Parallel is set; any value > 1 enables the pool on its own).
-	// Every worker count produces bit-identical results.
+	// Every worker count produces bit-identical results — enforced in
+	// clustered's determinism tests and again at the service boundary
+	// (internal/faultinject), where solves run next to cancelled
+	// siblings with the scheduler's Progress hook injected.
 	Workers int
 	// Mode selects the randomness source by name: "noisy-cim" (default),
 	// "metropolis", "greedy" or "noisy-spins" (the ablations of

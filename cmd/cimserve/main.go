@@ -39,6 +39,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 2, "solver slots (jobs solving at once)")
 		queue       = flag.Int("queue", 64, "wait-queue depth; beyond it submissions get 429")
 		ttl         = flag.Duration("ttl", 15*time.Minute, "how long finished results stay fetchable")
+		replay      = flag.Int("replay", 512, "per-job SSE replay buffer (events kept for reconnects)")
 		maxN        = flag.Int("max-n", 200000, "largest instance (cities) accepted; 0 = unlimited")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before solves are cancelled")
 	)
@@ -48,6 +49,7 @@ func main() {
 		MaxConcurrent: *concurrency,
 		QueueDepth:    *queue,
 		ResultTTL:     *ttl,
+		ReplayBuffer:  *replay,
 	})
 	srv := serve.NewServer(sched)
 	srv.MaxN = *maxN

@@ -17,6 +17,7 @@ import (
 
 	"cimsa/internal/cim"
 	"cimsa/internal/cluster"
+	"cimsa/internal/device"
 	"cimsa/internal/geom"
 	"cimsa/internal/heuristics"
 	"cimsa/internal/noise"
@@ -390,8 +391,11 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 				job.vdd, job.nLSB = vdd, nLSB
 			} else {
 				// Clean weights for every other mode; the spin-noise
-				// ablation corrupts inputs at proposal time instead.
-				job.vdd, job.nLSB = 0.8, 0
+				// ablation corrupts inputs at proposal time instead. The
+				// device model owns the supply-voltage truth: refreshing at
+				// its nominal V_DD (rather than a copied literal) keeps the
+				// refresh clean even if the technology point changes.
+				job.vdd, job.nLSB = device.NominalVDD, 0
 			}
 			ex.dispatch(job, nc)
 			emit(iter)
@@ -422,7 +426,15 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 	stats.Iterations += iters
 	emit(iters)
 
-	// Expand: children in final order, clusters in cycle order.
+	// Expand: children in final order, clusters in cycle order. Every
+	// cluster's order must still be a permutation of its children — the
+	// swap updates preserve this by construction, so a violation means a
+	// software fault (a race or a corrupted update), exactly what the
+	// fault-injection harness exists to rule out. The check is O(n) per
+	// level, noise-free, and cheap next to the 400-iteration anneal.
+	if err := validateClusterOrders(state, level); err != nil {
+		return nil, nil, err
+	}
 	var out []*cluster.Node
 	for _, cs := range state.clusters {
 		for _, childIdx := range cs.order {
@@ -430,6 +442,34 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 		}
 	}
 	return out, trace, nil
+}
+
+// validateClusterOrders asserts each cluster's child order is a
+// permutation of [0, len(children)) before the level is expanded.
+func validateClusterOrders(state *levelState, level int) error {
+	var seen []bool
+	for ci, cs := range state.clusters {
+		p := len(cs.node.Children)
+		if len(cs.order) != p {
+			return fmt.Errorf("clustered: level %d cluster %d order has %d slots for %d children",
+				level, ci, len(cs.order), p)
+		}
+		if cap(seen) < p {
+			seen = make([]bool, p)
+		}
+		seen = seen[:p]
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, childIdx := range cs.order {
+			if childIdx < 0 || childIdx >= p || seen[childIdx] {
+				return fmt.Errorf("clustered: level %d cluster %d order is not a permutation: %v",
+					level, ci, cs.order)
+			}
+			seen[childIdx] = true
+		}
+	}
+	return nil
 }
 
 // boundaryTransfersPerIter counts the bits crossing inter-array links in

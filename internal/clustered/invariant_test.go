@@ -1,0 +1,101 @@
+package clustered
+
+import (
+	"strings"
+	"testing"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/noise"
+	"cimsa/internal/tsplib"
+)
+
+// corruptibleState builds a tiny levelState suitable for white-box
+// validation checks.
+func corruptibleState(t *testing.T) *levelState {
+	t.Helper()
+	in := tsplib.Generate("inv", 24, tsplib.StyleUniform, 3)
+	h, err := cluster.Build(in.Cities, cluster.Strategy{Kind: cluster.SemiFlex, P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := h.Levels[1]
+	state := &levelState{clusters: make([]*clusterState, len(nodes))}
+	for ci, n := range nodes {
+		order := make([]int, len(n.Children))
+		for i := range order {
+			order[i] = i
+		}
+		state.clusters[ci] = &clusterState{node: n, order: order}
+	}
+	return state
+}
+
+func TestValidateClusterOrders(t *testing.T) {
+	state := corruptibleState(t)
+	if err := validateClusterOrders(state, 1); err != nil {
+		t.Fatalf("pristine state rejected: %v", err)
+	}
+
+	// A duplicated child index (the shape a lost-update race would
+	// leave behind) must be caught before expansion.
+	victim := -1
+	for ci, cs := range state.clusters {
+		if len(cs.order) >= 2 {
+			victim = ci
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no multi-child cluster to corrupt")
+	}
+	good := state.clusters[victim].order[0]
+	state.clusters[victim].order[0] = state.clusters[victim].order[1]
+	err := validateClusterOrders(state, 1)
+	if err == nil || !strings.Contains(err.Error(), "not a permutation") {
+		t.Fatalf("duplicate child index not caught: %v", err)
+	}
+	state.clusters[victim].order[0] = good
+
+	// An out-of-range index must be caught too.
+	state.clusters[victim].order[0] = len(state.clusters[victim].node.Children)
+	if err := validateClusterOrders(state, 1); err == nil {
+		t.Fatal("out-of-range child index not caught")
+	}
+	state.clusters[victim].order[0] = good
+
+	// A truncated order (wrong slot count) must be caught.
+	state.clusters[victim].order = state.clusters[victim].order[:1]
+	if err := validateClusterOrders(state, 1); err == nil {
+		t.Fatal("truncated order not caught")
+	}
+}
+
+// Clean-mode window refreshes must be genuinely clean: in every
+// non-noisy mode the solve result is independent of the noise fabric,
+// because refreshes run at the device's nominal supply with zero noisy
+// LSBs. A hardcoded sub-nominal refresh voltage would let the fabric
+// leak into the "clean" ablation baselines.
+func TestCleanModeRefreshIndependentOfFabric(t *testing.T) {
+	in := tsplib.Generate("cleanref", 240, tsplib.StyleClustered, 11)
+	for _, mode := range []Mode{ModeGreedy, ModeMetropolis} {
+		base, err := Solve(in, Options{Mode: mode, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A different fabric (different per-cell polarities and critical
+		// voltages) must not change anything in a clean mode.
+		other, err := Solve(in, Options{Mode: mode, Seed: 5, Fabric: noise.NewFabric(0xdeadbeef)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.Length != other.Length {
+			t.Fatalf("mode %s: fabric leaked into clean refresh (%v vs %v)",
+				mode, base.Length, other.Length)
+		}
+		for i := range base.Tour {
+			if base.Tour[i] != other.Tour[i] {
+				t.Fatalf("mode %s: tours diverge at %d under fabric change", mode, i)
+			}
+		}
+	}
+}

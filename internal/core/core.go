@@ -153,6 +153,13 @@ func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Repo
 		if err != nil {
 			return nil, err
 		}
+		// Every replica must hand back a Hamiltonian cycle. A broken
+		// permutation here means solver state corruption, and silently
+		// comparing its Length against honest replicas could crown it
+		// the winner — fail loudly instead.
+		if err := cur.Tour.Validate(in.N()); err != nil {
+			return nil, fmt.Errorf("core: replica %d returned an invalid tour: %w", rep, err)
+		}
 		// Work accumulates symmetrically across every replica — win or
 		// lose — so the energy/PPA inputs count all the work done, not
 		// just the winner's share. The tour is the best replica's.

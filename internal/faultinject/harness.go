@@ -1,0 +1,574 @@
+// Package faultinject is the service stack's deterministic chaos and
+// invariant harness. The paper's claim is that annealing on noisy SRAM
+// still converges; this package proves the complementary software
+// claim — that under adversarial scheduling (cancel storms racing
+// submission, queue-full bursts, abandoned and stalled SSE subscribers,
+// clock jumps across janitor sweeps, solver failures at scripted
+// epochs, shutdown mid-drain) the *service* faults are zero: gauges
+// conserve, event streams stay contiguous and single-terminal, and
+// every job reaches exactly one coherent terminal state.
+//
+// Every fault schedule is derived from a single seed (Schedule's op
+// sequence, the scheduler's dimensions, the storm fan-outs), so a
+// failing run replays exactly: rerun with the seed printed in the
+// failure message. The harness drives the real serve.Scheduler through
+// its exported seams (Config.Solve, Config.Now, Scheduler.Sweep) — no
+// scheduler internals are touched, so what the harness validates is
+// what production runs.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cimsa"
+	"cimsa/internal/serve"
+)
+
+// Clock is the harness's deterministic time source, injected through
+// serve.Config.Now so TTL expiry is driven by scripted jumps, not wall
+// time.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock starts at a fixed, arbitrary epoch.
+func NewClock() *Clock { return &Clock{t: time.Unix(100000, 0)} }
+
+// Now returns the current scripted time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance jumps the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// command scripts one step of a scripted solve.
+type command int
+
+const (
+	cmdProgress command = iota // emit one progress event
+	cmdSucceed                 // return a report
+	cmdFail                    // return ErrInjected
+)
+
+// ErrInjected is the scripted solver's failure, standing in for a
+// solver error at a chosen epoch.
+var ErrInjected = errors.New("faultinject: scripted solver failure")
+
+// startedJob announces a solve entering its slot, carrying the command
+// channel the harness uses to script it.
+type startedJob struct {
+	name string
+	cmds chan command
+}
+
+// Solver is a scriptable serve.SolveFunc: each solve announces itself
+// on started and then blocks, consuming commands until told to finish
+// (or until its context is cancelled — always obeyed, like the real
+// solver's phase-boundary checks).
+type Solver struct {
+	started chan startedJob
+}
+
+// NewSolver returns a scriptable solver. The started buffer is sized so
+// the solver never blocks the worker goroutines on harness bookkeeping.
+func NewSolver() *Solver {
+	return &Solver{started: make(chan startedJob, 4096)}
+}
+
+// Solve implements serve.SolveFunc.
+func (sv *Solver) Solve(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+	cmds := make(chan command, 1024)
+	sv.started <- startedJob{name: in.Name, cmds: cmds}
+	iter := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case c := <-cmds:
+			switch c {
+			case cmdProgress:
+				iter += 50
+				if opts.Progress != nil {
+					opts.Progress(cimsa.ProgressEvent{
+						Levels: 1, Iters: 1 << 30, Iter: iter, Clusters: 3,
+					})
+				}
+			case cmdSucceed:
+				return &cimsa.Report{Instance: in.Name, N: in.N(), Length: float64(iter + 1)}, nil
+			case cmdFail:
+				return nil, ErrInjected
+			}
+		}
+	}
+}
+
+// jobPhase is the harness's knowledge of a job's lifecycle. It lags the
+// scheduler's own state only in bounded, awaitable ways (a started
+// signal not yet consumed, a Done not yet observed).
+type jobPhase int
+
+const (
+	phaseQueued    jobPhase = iota // admitted; start signal not yet seen
+	phaseRunning                   // start signal consumed
+	phaseFinishing                 // terminal command sent or cancel issued
+	phaseTerminal                  // Done() observed
+)
+
+// trackedJob pairs a scheduler job with the harness's bookkeeping.
+type trackedJob struct {
+	name     string
+	job      *serve.Job
+	cmds     chan command // nil until the start signal is consumed
+	phase    jobPhase
+	canceled bool // a cancel was issued at some point
+	swept    bool // removed from the scheduler by a TTL sweep
+}
+
+// slowSub is a deliberately stalled subscriber: it never reads until
+// the harness finishes, exercising the drop-don't-stall publish path.
+type slowSub struct {
+	job *trackedJob
+	ch  chan serve.Event
+}
+
+// Harness owns one scheduler under fault injection.
+type Harness struct {
+	t      *testing.T
+	sched  *serve.Scheduler
+	solver *Solver
+	clock  *Clock
+	cfg    serve.Config
+	seed   uint64
+
+	jobs     []*trackedJob
+	byName   map[string]*trackedJob
+	rejected int
+	nextID   int
+
+	auditors []*StreamAuditor
+	slows    []slowSub
+
+	opLog []string
+
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+	negQueued   atomic.Int64 // most negative Queued gauge sampled
+	negRunning  atomic.Int64 // most negative Running gauge sampled
+}
+
+// ttl is the scripted ResultTTL every harness scheduler uses; clock
+// jumps are scaled against it.
+const ttl = time.Minute
+
+// NewHarness builds a scheduler sized by the schedule and starts the
+// gauge sampler, which continuously asserts the gauges never go
+// negative — the exact lie the pre-fix Submit/worker race produced.
+func NewHarness(t *testing.T, sc Schedule) *Harness {
+	t.Helper()
+	clock := NewClock()
+	solver := NewSolver()
+	cfg := serve.Config{
+		MaxConcurrent: sc.Slots,
+		QueueDepth:    sc.Depth,
+		ReplayBuffer:  sc.Replay,
+		ResultTTL:     ttl,
+		SweepEvery:    time.Hour, // sweeps are scripted via Scheduler.Sweep
+		Solve:         solver.Solve,
+		Now:           clock.Now,
+	}
+	h := &Harness{
+		t: t, solver: solver, clock: clock, cfg: cfg, seed: sc.Seed,
+		sched:       serve.NewScheduler(cfg),
+		byName:      map[string]*trackedJob{},
+		samplerStop: make(chan struct{}),
+		samplerDone: make(chan struct{}),
+	}
+	go h.sampleGauges()
+	return h
+}
+
+// sampleGauges polls the live gauges as fast as it can for the whole
+// run; any negative reading is a conservation violation regardless of
+// what the schedule was doing at the time.
+func (h *Harness) sampleGauges() {
+	defer close(h.samplerDone)
+	for {
+		select {
+		case <-h.samplerStop:
+			return
+		default:
+		}
+		if q := h.sched.Metrics.Queued.Load(); q < h.negQueued.Load() {
+			h.negQueued.Store(q)
+		}
+		if r := h.sched.Metrics.Running.Load(); r < h.negRunning.Load() {
+			h.negRunning.Store(r)
+		}
+		// Sample densely but don't monopolize a core: negative-gauge
+		// windows are produced continuously under churn, so a ~20µs
+		// cadence still takes tens of thousands of samples per run.
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// fatalf aborts with the seed and the tail of the op log so the exact
+// schedule can be replayed.
+func (h *Harness) fatalf(format string, args ...any) {
+	h.t.Helper()
+	tail := h.opLog
+	if len(tail) > 12 {
+		tail = tail[len(tail)-12:]
+	}
+	msg := fmt.Sprintf(format, args...)
+	h.t.Fatalf("[seed %d] %s\nrecent ops:\n  %s", h.seed, msg, joinLines(tail))
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	h.opLog = append(h.opLog, fmt.Sprintf(format, args...))
+}
+
+// submit admits one scripted job (or records backpressure).
+func (h *Harness) submit() *trackedJob {
+	name := fmt.Sprintf("fi-%04d", h.nextID)
+	h.nextID++
+	job, err := h.sched.Submit(cimsa.GenerateInstance(name, 10, 1), cimsa.Options{})
+	switch {
+	case err == nil:
+		tj := &trackedJob{name: name, job: job, phase: phaseQueued}
+		h.jobs = append(h.jobs, tj)
+		h.byName[name] = tj
+		h.logf("submit %s -> %s", name, job.ID)
+		return tj
+	case errors.Is(err, serve.ErrQueueFull):
+		h.rejected++
+		h.logf("submit %s -> queue full", name)
+		return nil
+	default:
+		h.fatalf("submit %s: unexpected error %v", name, err)
+		return nil
+	}
+}
+
+// syncStarted consumes pending start signals without blocking,
+// promoting queued jobs to running.
+func (h *Harness) syncStarted() {
+	for {
+		select {
+		case sj := <-h.solver.started:
+			h.noteStarted(sj)
+		default:
+			return
+		}
+	}
+}
+
+func (h *Harness) noteStarted(sj startedJob) {
+	tj, ok := h.byName[sj.name]
+	if !ok {
+		h.fatalf("solver started unknown job %q", sj.name)
+	}
+	tj.cmds = sj.cmds
+	if tj.phase == phaseQueued {
+		tj.phase = phaseRunning
+	}
+	// A finishing job (cancel raced its promotion) keeps its phase: the
+	// pending cancel will unwind the solve via its context.
+}
+
+// cancel issues a cancellation; the target may be in any phase
+// (cancelling a terminal job must be a harmless no-op).
+func (h *Harness) cancel(tj *trackedJob) {
+	if !h.sched.Cancel(tj.job.ID) && !tj.swept {
+		h.fatalf("cancel %s: scheduler does not know the job", tj.name)
+	}
+	tj.canceled = true
+	if tj.phase == phaseQueued || tj.phase == phaseRunning {
+		tj.phase = phaseFinishing
+	}
+	h.logf("cancel %s", tj.name)
+}
+
+// sendCmd scripts a running job one step further. Sends are buffered
+// and the solver may already be unwinding from a racing cancel, so this
+// never blocks.
+func (h *Harness) sendCmd(tj *trackedJob, c command) {
+	select {
+	case tj.cmds <- c:
+	default:
+		h.fatalf("command buffer overflow for %s", tj.name)
+	}
+	if c != cmdProgress && tj.phase == phaseRunning {
+		tj.phase = phaseFinishing
+	}
+}
+
+// running lists jobs the harness believes occupy a slot, in submission
+// order (deterministic target selection).
+func (h *Harness) running() []*trackedJob {
+	var out []*trackedJob
+	for _, tj := range h.jobs {
+		if tj.phase == phaseRunning {
+			out = append(out, tj)
+		}
+	}
+	return out
+}
+
+func (h *Harness) countPhases() (queued, running int) {
+	for _, tj := range h.jobs {
+		switch tj.phase {
+		case phaseQueued:
+			queued++
+		case phaseRunning:
+			running++
+		}
+	}
+	return
+}
+
+// waitFinishing blocks until every finishing job has reached its
+// terminal state.
+func (h *Harness) waitFinishing() {
+	for _, tj := range h.jobs {
+		if tj.phase != phaseFinishing {
+			continue
+		}
+		select {
+		case <-tj.job.Done():
+			tj.phase = phaseTerminal
+		case <-time.After(10 * time.Second):
+			h.fatalf("job %s stuck finishing (state %s)", tj.name, tj.job.Status().State)
+		}
+	}
+}
+
+// Quiesce drives the system to a fixed point — no finishing jobs, no
+// in-flight queue→slot promotions — and then asserts exact gauge
+// conservation and per-job status sanity. Quiescence is the contract
+// under which the gauges must balance to the last job: transiently the
+// lock-free /metrics reader may see a job between its two gauge
+// updates, but at a fixed point every admitted job is in exactly one
+// bucket.
+func (h *Harness) Quiesce() {
+	h.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		h.syncStarted()
+		h.waitFinishing()
+		h.syncStarted()
+		queued, running := h.countPhases()
+		if queued > 0 && running < h.cfg.MaxConcurrent && !h.drainedAllSlots() {
+			if time.Now().After(deadline) {
+				h.fatalf("quiesce did not converge (%d queued, %d running)", queued, running)
+			}
+			// A promotion must be in flight; wait for its start signal.
+			select {
+			case sj := <-h.solver.started:
+				h.noteStarted(sj)
+				continue
+			case <-time.After(10 * time.Second):
+				h.fatalf("queued job never promoted (%d queued, %d running, %d slots)",
+					queued, running, h.cfg.MaxConcurrent)
+			}
+		}
+		break
+	}
+	h.checkConservation()
+	h.checkStatusSanity()
+}
+
+// drainedAllSlots reports whether every slot is known-occupied by a
+// running or finishing job (promotions can't happen until one ends).
+func (h *Harness) drainedAllSlots() bool {
+	occupied := 0
+	for _, tj := range h.jobs {
+		if tj.phase == phaseRunning || tj.phase == phaseFinishing {
+			occupied++
+		}
+	}
+	return occupied >= h.cfg.MaxConcurrent
+}
+
+// Finish drains every outstanding job to a terminal state, audits every
+// stream, shuts the scheduler down and re-checks conservation — the
+// end-of-schedule sweep that turns "no step tripped an invariant" into
+// "and the final global state balances too".
+func (h *Harness) Finish() {
+	h.t.Helper()
+	// Drain: command every running job to completion until nothing is
+	// queued or running. Alternate success and failure so both terminal
+	// accounting paths stay exercised.
+	for pass := 0; ; pass++ {
+		h.Quiesce()
+		queued, running := h.countPhases()
+		if queued == 0 && running == 0 {
+			break
+		}
+		if running == 0 {
+			h.fatalf("%d jobs queued with no runner and no free slot progression", queued)
+		}
+		for i, tj := range h.running() {
+			if (pass+i)%3 == 2 {
+				h.sendCmd(tj, cmdFail)
+			} else {
+				h.sendCmd(tj, cmdSucceed)
+			}
+		}
+		if pass > 10000 {
+			h.fatalf("drain did not converge")
+		}
+	}
+
+	// Every tracked job must now pass the post-terminal stream audit.
+	for _, tj := range h.jobs {
+		AuditTerminalStream(h.t, h.seed, tj.job)
+	}
+	// Live auditors must have seen clean streams.
+	for _, a := range h.auditors {
+		a.Check(h.t, h.seed)
+	}
+	// Slow subscribers: drain what their buffers held; order must still
+	// be strictly increasing even though events were dropped.
+	for _, s := range h.slows {
+		last := 0
+		for {
+			ev, ok := <-s.ch
+			if !ok {
+				break
+			}
+			if ev.Seq <= last {
+				h.fatalf("slow subscriber on %s saw seq %d after %d", s.job.name, ev.Seq, last)
+			}
+			last = ev.Seq
+		}
+	}
+
+	// Shutdown on an idle scheduler must drain cleanly and then refuse
+	// new work without touching the rejected counter.
+	rejectedBefore := h.sched.Metrics.Rejected.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.sched.Shutdown(ctx); err != nil {
+		h.fatalf("idle shutdown returned %v", err)
+	}
+	if _, err := h.sched.Submit(cimsa.GenerateInstance("late", 10, 1), cimsa.Options{}); !errors.Is(err, serve.ErrShuttingDown) {
+		h.fatalf("post-shutdown submit returned %v, want ErrShuttingDown", err)
+	}
+	if got := h.sched.Metrics.Rejected.Load(); got != rejectedBefore {
+		h.fatalf("shutdown refusal moved the rejected counter %d -> %d", rejectedBefore, got)
+	}
+	h.checkConservation()
+	h.StopSampler()
+}
+
+// ShutdownDrain exercises shutdown racing live work. Graceful: a
+// servicer goroutine keeps scripting every job that reaches a slot to
+// success while Shutdown drains, so the queue empties through real
+// solves. Abrupt: Shutdown gets an already-tight deadline and must
+// cancel everything outstanding, still leaving coherent terminal
+// states. Either way, after Shutdown returns every tracked job must be
+// terminal and the books must balance.
+func (h *Harness) ShutdownDrain(graceful bool) {
+	h.t.Helper()
+	h.syncStarted()
+	stop := make(chan struct{})
+	served := make(chan startedJob, 4096)
+	if graceful {
+		// Kick the jobs already occupying slots, then service the rest as
+		// the drain promotes them.
+		for _, tj := range h.running() {
+			h.sendCmd(tj, cmdSucceed)
+		}
+		go func() {
+			for {
+				select {
+				case sj := <-h.solver.started:
+					sj.cmds <- cmdSucceed
+					served <- sj
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	ctx := context.Background()
+	if !graceful {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+		defer cancel()
+	}
+	err := h.sched.Shutdown(ctx)
+	close(stop)
+	if graceful && err != nil {
+		h.fatalf("graceful shutdown returned %v", err)
+	}
+	if !graceful && !errors.Is(err, context.DeadlineExceeded) {
+		h.fatalf("abrupt shutdown returned %v, want deadline exceeded", err)
+	}
+	// Merge the start signals the servicer (or the abort path) consumed
+	// concurrently, then settle every job: after Shutdown returns, all
+	// tracked jobs must be terminal.
+	for {
+		select {
+		case sj := <-served:
+			h.noteStarted(sj)
+		case sj := <-h.solver.started:
+			h.noteStarted(sj)
+		default:
+			goto settled
+		}
+	}
+settled:
+	for _, tj := range h.jobs {
+		select {
+		case <-tj.job.Done():
+			tj.phase = phaseTerminal
+		case <-time.After(10 * time.Second):
+			h.fatalf("job %s not terminal after shutdown (state %s)", tj.name, tj.job.Status().State)
+		}
+	}
+	h.checkConservation()
+	h.checkStatusSanity()
+}
+
+// StopSampler halts the gauge sampler and asserts it never saw a
+// negative gauge. Safe to call more than once.
+func (h *Harness) StopSampler() {
+	select {
+	case <-h.samplerDone:
+	default:
+		close(h.samplerStop)
+		<-h.samplerDone
+	}
+	if q := h.negQueued.Load(); q < 0 {
+		h.fatalf("queued gauge went negative (reached %d)", q)
+	}
+	if r := h.negRunning.Load(); r < 0 {
+		h.fatalf("running gauge went negative (reached %d)", r)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"cimsa"
@@ -19,7 +20,10 @@ import (
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/events SSE progress stream (replay + live)
 //	GET    /v1/jobs/{id}/result finished report (409 until terminal)
-//	POST   /v1/jobs/{id}/cancel cancel (DELETE /v1/jobs/{id} is an alias)
+//	POST   /v1/jobs/{id}/cancel request cancel -> 202 + status snapshot
+//	                            (DELETE /v1/jobs/{id} is an alias); a
+//	                            running job transitions asynchronously
+//	DELETE /v1/jobs/{id}        alias for cancel
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             liveness probe
 type Server struct {
@@ -228,13 +232,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ResultResponse{Status: st, Report: job.Report()})
 }
 
+// handleCancel requests cancellation and returns 202 Accepted with a
+// status snapshot: a queued job is finalized synchronously (the snapshot
+// already says "canceled"), but a running job's solver only observes
+// the cancelled context at its next phase boundary, so the snapshot may
+// still say "running" — clients poll the status or watch the SSE stream
+// for the terminal "canceled" frame.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobFor(w, r)
 	if !ok {
 		return
 	}
 	s.sched.Cancel(job.ID)
-	writeJSON(w, http.StatusOK, job.Status())
+	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -248,6 +258,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // write-back epochs plus one per finished level and a final terminal
 // frame; each frame is "event: <type>", "id: <seq>" and a JSON data
 // payload (the Event schema).
+//
+// A reconnecting client sends the standard Last-Event-ID header (the
+// last "id:" it saw); replay frames with Seq <= that id are skipped so
+// the stream resumes instead of duplicating history. When the replay
+// buffer has evicted events the client has not seen, the stream opens
+// with a synthetic "truncated" frame (no id, so it never perturbs
+// Last-Event-ID) carrying the evicted count and the first seq still
+// available.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobFor(w, r)
 	if !ok {
@@ -258,14 +276,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
+	lastID := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			lastID = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
-	replay, ch, unsub := job.Subscribe()
+	replay, evicted, ch, unsub := job.Subscribe()
 	defer unsub()
+	if lastID < evicted {
+		// Events (lastID, evicted] are gone from the buffer: tell the
+		// client its view has a hole before resuming at evicted+1.
+		trunc := Event{Type: "truncated", Job: job.ID, Evicted: evicted, FirstSeq: evicted + 1}
+		if writeSSEFrame(w, trunc, false) != nil {
+			return
+		}
+	}
 	for _, ev := range replay {
+		if ev.Seq <= lastID {
+			continue
+		}
 		if writeSSE(w, ev) != nil {
 			return
 		}
@@ -288,10 +323,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func writeSSE(w http.ResponseWriter, ev Event) error {
+	return writeSSEFrame(w, ev, true)
+}
+
+// writeSSEFrame emits one SSE frame; withID controls the "id:" line —
+// synthetic frames (like "truncated") omit it so they never overwrite
+// the client's stored Last-Event-ID.
+func writeSSEFrame(w http.ResponseWriter, ev Event, withID bool) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	if withID {
+		_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	}
 	return err
 }

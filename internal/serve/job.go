@@ -33,7 +33,10 @@ func (s State) Terminal() bool {
 // Event is one entry of a job's event stream (an SSE frame on the
 // wire). Type "progress" carries a solver ProgressEvent; the terminal
 // types "done", "failed" and "canceled" close the stream, with Length
-// set on "done" and Error on "failed".
+// set on "done" and Error on "failed". A synthetic "truncated" frame
+// (Seq 0, never stored) warns a connecting client that Evicted events
+// were dropped from the replay buffer and the stream resumes at
+// FirstSeq.
 type Event struct {
 	Type     string               `json:"type"`
 	Seq      int                  `json:"seq"`
@@ -41,11 +44,14 @@ type Event struct {
 	Progress *cimsa.ProgressEvent `json:"progress,omitempty"`
 	Length   float64              `json:"length,omitempty"`
 	Error    string               `json:"error,omitempty"`
+	Evicted  int                  `json:"evicted,omitempty"`
+	FirstSeq int                  `json:"first_seq,omitempty"`
 }
 
-// maxReplayEvents bounds each job's event replay buffer; the oldest
-// events are evicted first (a job with huge Restarts would otherwise
-// accumulate one event per replica epoch without bound).
+// maxReplayEvents is the default bound on each job's event replay
+// buffer (Config.ReplayBuffer overrides it); the oldest events are
+// evicted first (a job with huge Restarts would otherwise accumulate
+// one event per replica epoch without bound).
 const maxReplayEvents = 512
 
 // Job is one submitted solve tracked by the scheduler.
@@ -63,6 +69,10 @@ type Job struct {
 
 	// done is closed exactly once when the job reaches a terminal state.
 	done chan struct{}
+
+	// replayLimit caps len(events); set from Config.ReplayBuffer at
+	// submission, immutable afterwards.
+	replayLimit int
 
 	mu        sync.Mutex
 	state     State
@@ -91,6 +101,10 @@ type Status struct {
 	Length       float64 `json:"length,omitempty"`
 	OptimalRatio float64 `json:"optimal_ratio,omitempty"`
 	Error        string  `json:"error,omitempty"`
+	// EventsEvicted counts progress events dropped from the replay
+	// buffer; a non-zero value means an events stream opened now starts
+	// at seq EventsEvicted+1, not 1.
+	EventsEvicted int `json:"events_evicted,omitempty"`
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -122,6 +136,7 @@ func (j *Job) Status() Status {
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
+	st.EventsEvicted = j.evicted
 	return st
 }
 
@@ -137,12 +152,16 @@ func (j *Job) Report() *cimsa.Report {
 // the solve (their channel send is non-blocking); the replay buffer
 // keeps the most recent maxReplayEvents.
 func (j *Job) publish(typ string, progress *cimsa.ProgressEvent, length float64, errMsg string) {
+	limit := j.replayLimit
+	if limit <= 0 {
+		limit = maxReplayEvents
+	}
 	j.mu.Lock()
 	j.seq++
 	ev := Event{Type: typ, Seq: j.seq, Job: j.ID, Progress: progress, Length: length, Error: errMsg}
 	j.events = append(j.events, ev)
-	if len(j.events) > maxReplayEvents {
-		drop := len(j.events) - maxReplayEvents
+	if len(j.events) > limit {
+		drop := len(j.events) - limit
 		j.events = append(j.events[:0], j.events[drop:]...)
 		j.evicted += drop
 	}
@@ -176,24 +195,26 @@ func (j *Job) publish(typ string, progress *cimsa.ProgressEvent, length float64,
 	}
 }
 
-// Subscribe returns the replayable history, a channel of future events
-// (closed after the terminal event), and an unsubscribe function. A
-// subscriber attaching after the job finished gets the full replay and
-// an already-closed channel.
-func (j *Job) Subscribe() (replay []Event, ch chan Event, unsub func()) {
+// Subscribe returns the replayable history, the number of events
+// evicted from it (the replay starts at seq evicted+1 when non-zero), a
+// channel of future events (closed after the terminal event), and an
+// unsubscribe function. A subscriber attaching after the job finished
+// gets the full replay and an already-closed channel.
+func (j *Job) Subscribe() (replay []Event, evicted int, ch chan Event, unsub func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	replay = append([]Event(nil), j.events...)
+	evicted = j.evicted
 	ch = make(chan Event, 128)
 	if j.state.Terminal() {
 		close(ch)
-		return replay, ch, func() {}
+		return replay, evicted, ch, func() {}
 	}
 	if j.subs == nil {
 		j.subs = map[chan Event]struct{}{}
 	}
 	j.subs[ch] = struct{}{}
-	return replay, ch, func() {
+	return replay, evicted, ch, func() {
 		j.mu.Lock()
 		if _, live := j.subs[ch]; live {
 			delete(j.subs, ch)

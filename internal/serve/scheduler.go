@@ -34,11 +34,15 @@ type Config struct {
 	ResultTTL time.Duration
 	// SweepEvery is the janitor period (default 30s).
 	SweepEvery time.Duration
+	// ReplayBuffer bounds each job's SSE event replay buffer (default
+	// 512); the oldest events are evicted first and reported to clients
+	// via Status.EventsEvicted and a "truncated" stream frame.
+	ReplayBuffer int
 
-	// solve and now are test seams; nil means cimsa.SolveContext and
-	// time.Now.
-	solve SolveFunc
-	now   func() time.Time
+	// Solve and Now are seams for tests and the fault-injection harness
+	// (internal/faultinject); nil means cimsa.SolveContext and time.Now.
+	Solve SolveFunc
+	Now   func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -54,13 +58,16 @@ func (c Config) withDefaults() Config {
 	if c.SweepEvery <= 0 {
 		c.SweepEvery = 30 * time.Second
 	}
-	if c.solve == nil {
-		c.solve = func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+	if c.ReplayBuffer <= 0 {
+		c.ReplayBuffer = maxReplayEvents
+	}
+	if c.Solve == nil {
+		c.Solve = func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
 			return cimsa.SolveContext(ctx, in, opts)
 		}
 	}
-	if c.now == nil {
-		c.now = time.Now
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -128,13 +135,14 @@ func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		ID:     s.newID(),
-		in:     in,
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		state:  StateQueued,
+		ID:          s.newID(),
+		in:          in,
+		opts:        opts,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		replayLimit: s.cfg.ReplayBuffer,
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -142,20 +150,24 @@ func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error)
 		cancel()
 		return nil, ErrShuttingDown
 	}
-	job.submitted = s.cfg.now()
-	select {
-	case s.queue <- job:
-		s.jobs[job.ID] = job
-		s.mu.Unlock()
-		s.Metrics.Submitted.Add(1)
-		s.Metrics.Queued.Add(1)
-		return job, nil
-	default:
+	job.submitted = s.cfg.Now()
+	// Only Submit sends on the queue and only while holding s.mu, so a
+	// capacity check here decides the send without racing other senders.
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		cancel()
 		s.Metrics.Rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	// The gauge must rise before the job becomes visible to a worker:
+	// workers don't take s.mu, so incrementing after the send lets an
+	// eager worker run Queued.Add(-1) first and the gauge goes negative.
+	s.Metrics.Submitted.Add(1)
+	s.Metrics.Queued.Add(1)
+	s.queue <- job
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	return job, nil
 }
 
 // Get returns a job by ID.
@@ -208,7 +220,7 @@ func (s *Scheduler) Cancel(id string) bool {
 	}
 	job.state = StateCanceled
 	job.err = context.Canceled
-	job.finished = s.cfg.now()
+	job.finished = s.cfg.Now()
 	job.expires = job.finished.Add(s.cfg.ResultTTL)
 	job.mu.Unlock()
 	s.Metrics.Queued.Add(-1)
@@ -235,7 +247,7 @@ func (s *Scheduler) run(job *Job) {
 		return
 	}
 	job.state = StateRunning
-	job.started = s.cfg.now()
+	job.started = s.cfg.Now()
 	job.mu.Unlock()
 	s.Metrics.Queued.Add(-1)
 	s.Metrics.Running.Add(1)
@@ -245,13 +257,13 @@ func (s *Scheduler) run(job *Job) {
 		pe := ev
 		job.publish("progress", &pe, 0, "")
 	}
-	start := s.cfg.now()
-	rep, err := s.cfg.solve(job.ctx, job.in, opts)
-	elapsed := s.cfg.now().Sub(start)
+	start := s.cfg.Now()
+	rep, err := s.cfg.Solve(job.ctx, job.in, opts)
+	elapsed := s.cfg.Now().Sub(start)
 	s.Metrics.Running.Add(-1)
 
 	job.mu.Lock()
-	job.finished = s.cfg.now()
+	job.finished = s.cfg.Now()
 	job.expires = job.finished.Add(s.cfg.ResultTTL)
 	switch {
 	case err == nil:
@@ -291,11 +303,17 @@ func (s *Scheduler) janitor() {
 	}
 }
 
+// Sweep runs one janitor pass immediately, removing finished jobs whose
+// TTL has lapsed, and returns how many were removed. The periodic
+// janitor calls the same logic; the fault-injection harness calls Sweep
+// directly to pair scripted clock jumps with deterministic sweeps.
+func (s *Scheduler) Sweep() int { return s.sweep() }
+
 // sweep removes finished jobs whose TTL has lapsed, returning how many
-// were evicted. (Exported behaviour is via the janitor; tests call it
-// directly.)
+// were evicted. (Exported behaviour is via the janitor and Sweep; tests
+// call it directly.)
 func (s *Scheduler) sweep() int {
-	now := s.cfg.now()
+	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed := 0

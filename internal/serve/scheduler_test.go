@@ -110,10 +110,10 @@ func newTestScheduler(t *testing.T, st *stubSolver, clk *fakeClock, maxConc, dep
 		MaxConcurrent: maxConc,
 		QueueDepth:    depth,
 		ResultTTL:     time.Minute,
-		solve:         st.solve,
+		Solve:         st.solve,
 	}
 	if clk != nil {
-		cfg.now = clk.Now
+		cfg.Now = clk.Now
 	}
 	s := NewScheduler(cfg)
 	t.Cleanup(func() {
@@ -339,7 +339,7 @@ func TestSubscribeReplayAfterCompletion(t *testing.T) {
 	st.releaseAll()
 	waitDone(t, job)
 
-	replay, ch, unsub := job.Subscribe()
+	replay, _, ch, unsub := job.Subscribe()
 	defer unsub()
 	var progress, done int
 	for _, ev := range replay {
