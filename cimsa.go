@@ -19,9 +19,13 @@ package cimsa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"os"
 
+	"cimsa/internal/checkpoint"
 	"cimsa/internal/clustered"
 	"cimsa/internal/core"
 	"cimsa/internal/ppa"
@@ -83,6 +87,35 @@ type Options struct {
 	// runs on the solve goroutine, only observes state — it cannot change
 	// the result — and must return quickly.
 	Progress func(ProgressEvent)
+	// Checkpoint enables durable snapshots and resume (zero value: off).
+	Checkpoint Checkpoint
+}
+
+// Checkpoint configures durable solve snapshots: when Dir is set, the
+// solver periodically persists its full state (atomically, with a
+// checksum) to one file per (instance, seed) pair inside Dir, and —
+// with Resume set — continues from that file if it exists. A resumed
+// run is bit-identical to one that never stopped: same tour, same
+// length, same statistics, at every worker count. A corrupt, truncated
+// or mismatched file fails the solve with a diagnostic; it is never
+// silently annealed from.
+type Checkpoint struct {
+	// Dir is the checkpoint directory (created if missing). Empty
+	// disables checkpointing entirely.
+	Dir string
+	// EveryEpochs writes one snapshot per that many write-back epochs
+	// (0 or 1: every epoch). Restart boundaries and cancellation
+	// flushes are always written regardless of cadence.
+	EveryEpochs int
+	// Resume loads Dir's checkpoint for this (instance, seed) pair and
+	// continues from it; a missing file just starts fresh.
+	Resume bool
+	// OnWrite, when non-nil, is called with the file path after every
+	// successful snapshot write (on the solve goroutine; must be fast).
+	OnWrite func(path string)
+	// OnResume, when non-nil, is called with the file path when a
+	// checkpoint was found and the solve will continue from it.
+	OnResume func(path string)
 }
 
 // Validate checks the options without running anything — the single
@@ -103,6 +136,12 @@ func (o Options) Validate() error {
 		if _, err := clustered.ParseMode(o.Mode); err != nil {
 			return fmt.Errorf("cimsa: unknown Mode %q (noisy-cim | metropolis | greedy | noisy-spins)", o.Mode)
 		}
+	}
+	if o.Checkpoint.EveryEpochs < 0 {
+		return fmt.Errorf("cimsa: negative Checkpoint.EveryEpochs %d", o.Checkpoint.EveryEpochs)
+	}
+	if o.Checkpoint.Dir == "" && (o.Checkpoint.Resume || o.Checkpoint.EveryEpochs > 0) {
+		return fmt.Errorf("cimsa: Checkpoint requires Dir to be set")
 	}
 	return nil
 }
@@ -129,7 +168,7 @@ func SolveContext(ctx context.Context, in *Instance, opt Options) (*Report, erro
 		}
 		mode = m
 	}
-	a, err := core.New(core.Config{
+	cfg := core.Config{
 		PMax:               opt.PMax,
 		Seed:               opt.Seed,
 		Mode:               mode,
@@ -138,7 +177,53 @@ func SolveContext(ctx context.Context, in *Instance, opt Options) (*Report, erro
 		Workers:            opt.Workers,
 		Restarts:           opt.Restarts,
 		Progress:           opt.Progress,
-	})
+	}
+	if ck := opt.Checkpoint; ck.Dir != "" {
+		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cimsa: checkpoint dir: %w", err)
+		}
+		path := checkpoint.DefaultPath(ck.Dir, in, opt.Seed)
+		if ck.Resume {
+			snap, err := checkpoint.Load(path)
+			switch {
+			case err == nil:
+				cfg.Resume = snap
+				if ck.OnResume != nil {
+					ck.OnResume(path)
+				}
+			case errors.Is(err, fs.ErrNotExist):
+				// No checkpoint yet: fresh start.
+			default:
+				return nil, err
+			}
+		}
+		every := ck.EveryEpochs
+		if every < 1 {
+			every = 1
+		}
+		epochs := 0
+		onWrite := ck.OnWrite
+		cfg.Checkpoint = func(s *checkpoint.Snapshot) error {
+			// Epoch snapshots honour the cadence; restart boundaries and
+			// cancellation flushes always hit disk — they are the last
+			// state the interrupted run will ever offer.
+			if s.Solver != nil && !s.Solver.Flush {
+				write := epochs%every == 0
+				epochs++
+				if !write {
+					return nil
+				}
+			}
+			if err := checkpoint.Save(path, s); err != nil {
+				return err
+			}
+			if onWrite != nil {
+				onWrite(path)
+			}
+			return nil
+		}
+	}
+	a, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"cimsa"
 	"cimsa/internal/tsplib"
@@ -37,6 +38,10 @@ func main() {
 		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across a worker pool (GOMAXPROCS workers)")
 		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS with -parallel; results identical for any value)")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this long, e.g. 90s or 10m (0 = no limit)")
+		ckptDir  = flag.String("checkpoint", "", "write durable solve checkpoints to this directory (one file per instance+seed)")
+		ckptN    = flag.Int("checkpoint-every", 1, "with -checkpoint: write one snapshot per this many write-back epochs")
+		resume   = flag.Bool("resume", false, "with -checkpoint: continue from the directory's checkpoint if one exists")
+		killApt  = flag.Int("kill-after", 0, "exit uncleanly (status 137) after this many checkpoint writes — crash testing only")
 		tourOut  = flag.String("tour", "", "write the visiting order to this file")
 		svgOut   = flag.String("svg", "", "render the tour to this SVG file")
 		noRef    = flag.Bool("noref", false, "skip the classical reference solver")
@@ -62,7 +67,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	rep, err := cimsa.SolveContext(ctx, in, cimsa.Options{
+	opt := cimsa.Options{
 		PMax:         *pmax,
 		Seed:         *seed,
 		Reference:    !*noRef,
@@ -71,10 +76,43 @@ func main() {
 		Restarts:     *restarts,
 		Parallel:     *parallel,
 		Workers:      *workers,
-	})
+	}
+	if *ckptDir != "" {
+		opt.Checkpoint = cimsa.Checkpoint{
+			Dir:         *ckptDir,
+			EveryEpochs: *ckptN,
+			Resume:      *resume,
+			OnResume: func(path string) {
+				log.Printf("resuming from checkpoint %s", path)
+			},
+		}
+		writes := 0
+		opt.Checkpoint.OnWrite = func(path string) {
+			writes++
+			if *killApt > 0 && writes >= *killApt {
+				// Crash-testing hook: die the way SIGKILL would, right
+				// after a snapshot hit disk, with no cleanup at all.
+				os.Exit(137)
+			}
+		}
+		// SIGINT flushes a resumable snapshot before exiting: the solver
+		// observes the cancellation at an iteration boundary and writes
+		// its state through the checkpoint hook on the way out.
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+		defer stop()
+	} else if *resume || *killApt > 0 {
+		log.Fatal("-resume and -kill-after need -checkpoint")
+	}
+	rep, err := cimsa.SolveContext(ctx, in, opt)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("solve exceeded -timeout %v on %s (%d cities)", *timeout, in.Name, in.N())
+		}
+		if errors.Is(err, context.Canceled) && *ckptDir != "" {
+			log.Printf("interrupted; state saved to %s", *ckptDir)
+			log.Printf("resume with: -checkpoint %s -resume (and the same instance, seed and options)", *ckptDir)
+			os.Exit(130)
 		}
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,17 +43,38 @@ func main() {
 		replay      = flag.Int("replay", 512, "per-job SSE replay buffer (events kept for reconnects)")
 		maxN        = flag.Int("max-n", 200000, "largest instance (cities) accepted; 0 = unlimited")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before solves are cancelled")
+		stateDir    = flag.String("state-dir", "", "persist jobs and solver checkpoints here; on boot, interrupted jobs are re-enqueued and resume mid-solve")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "with -state-dir: write one solver snapshot per this many write-back epochs")
 	)
 	flag.Parse()
 
-	sched := serve.NewScheduler(serve.Config{
+	cfg := serve.Config{
 		MaxConcurrent: *concurrency,
 		QueueDepth:    *queue,
 		ResultTTL:     *ttl,
 		ReplayBuffer:  *replay,
-	})
+		Logf:          log.Printf,
+	}
+	var recovered []serve.JournalEntry
+	if *stateDir != "" {
+		journal, entries, err := serve.OpenJournal(filepath.Join(*stateDir, "journal.jsonl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+		cfg.CheckpointDir = filepath.Join(*stateDir, "checkpoints")
+		cfg.CheckpointEvery = *ckptEvery
+		recovered = entries
+	}
+	sched := serve.NewScheduler(cfg)
 	srv := serve.NewServer(sched)
 	srv.MaxN = *maxN
+	if len(recovered) > 0 {
+		log.Printf("recovering %d interrupted job(s) from %s", len(recovered), *stateDir)
+		n := srv.Recover(recovered)
+		log.Printf("recovery done: %d job(s) re-enqueued", n)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

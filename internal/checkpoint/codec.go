@@ -1,0 +1,223 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+
+	"cimsa/internal/clustered"
+)
+
+// encoder accumulates little-endian fixed-width fields.
+type encoder struct {
+	buf []byte
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func rd32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func rd64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (e *encoder) u8(v uint8)    { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32)  { e.buf = le32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = le64(e.buf, v) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) bool(v bool) {
+	b := uint8(0)
+	if v {
+		b = 1
+	}
+	e.u8(b)
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// orders encodes one level's cluster orders: cluster count, then each
+// order as a length byte plus one byte per entry (cluster sizes are
+// bounded by the strategy's P <= 8, far under 255).
+func (e *encoder) orders(orders [][]int) {
+	e.u32(uint32(len(orders)))
+	for _, ord := range orders {
+		e.u8(uint8(len(ord)))
+		for _, v := range ord {
+			e.u8(uint8(v))
+		}
+	}
+}
+
+func (e *encoder) stats(s clustered.Stats) {
+	e.u64(uint64(s.Levels))
+	e.u64(uint64(s.BottomWindows))
+	e.u64(uint64(s.Iterations))
+	e.u64(uint64(s.Proposed))
+	e.u64(uint64(s.Accepted))
+	e.u64(uint64(s.WriteBacks))
+	e.u64(uint64(s.Cycles))
+	e.u64(uint64(s.WeightWrites))
+	e.u64(uint64(s.BoundaryTransferBits))
+}
+
+// decoder walks the payload with a sticky error: the first failure wins
+// and every later read returns zero values, so decode code stays linear.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+	}
+}
+
+// need asserts at least n more payload bytes exist — called before
+// loops that allocate per entry, so a corrupt count field fails fast
+// instead of allocating against it.
+func (d *decoder) need(n int) {
+	if d.err == nil && (n < 0 || len(d.buf)-d.off < n) {
+		d.fail("field needs %d bytes, %d remain", n, len(d.buf)-d.off)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	d.need(1)
+	if d.err != nil {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	d.need(4)
+	if d.err != nil {
+		return 0
+	}
+	v := rd32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	d.need(8)
+	if d.err != nil {
+		return 0
+	}
+	v := rd64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("boolean field is neither 0 nor 1")
+		return false
+	}
+}
+
+// u32n reads a uint32 and rejects values above max.
+func (d *decoder) u32n(max uint32, what string) uint32 {
+	v := d.u32()
+	if d.err == nil && v > max {
+		d.fail("%s %d exceeds %d", what, v, max)
+		return 0
+	}
+	return v
+}
+
+// u64n reads a uint64 and rejects values above max.
+func (d *decoder) u64n(max uint64, what string) uint64 {
+	v := d.u64()
+	if d.err == nil && v > max {
+		d.fail("%s %d exceeds %d", what, v, max)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) str(max int, what string) string {
+	n := int(d.u32n(uint32(max), what+" length"))
+	d.need(n)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) orders() [][]int {
+	nc := int(d.u32n(maxN, "cluster count"))
+	// Each cluster costs at least one byte (its length prefix).
+	d.need(nc)
+	if d.err != nil {
+		return nil
+	}
+	out := make([][]int, nc)
+	for ci := range out {
+		p := int(d.u8())
+		if p > maxOrderLen {
+			d.fail("cluster order length %d exceeds %d", p, maxOrderLen)
+			return nil
+		}
+		d.need(p)
+		if d.err != nil {
+			return nil
+		}
+		ord := make([]int, p)
+		for i := range ord {
+			ord[i] = int(d.u8())
+		}
+		out[ci] = ord
+	}
+	return out
+}
+
+// intStat reads a non-negative counter that fits an int.
+func (d *decoder) intStat(what string) int {
+	v := d.u64n(math.MaxInt64, what)
+	if d.err == nil && v > math.MaxInt32 && uint64(int(v)) != v {
+		d.fail("%s %d overflows int", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) stats() clustered.Stats {
+	var s clustered.Stats
+	s.Levels = d.intStat("stats levels")
+	s.BottomWindows = d.intStat("stats bottom windows")
+	s.Iterations = d.intStat("stats iterations")
+	s.Proposed = d.intStat("stats proposed")
+	s.Accepted = d.intStat("stats accepted")
+	s.WriteBacks = d.intStat("stats write-backs")
+	s.Cycles = int64(d.u64n(math.MaxInt64, "stats cycles"))
+	s.WeightWrites = int64(d.u64n(math.MaxInt64, "stats weight writes"))
+	s.BoundaryTransferBits = int64(d.u64n(math.MaxInt64, "stats boundary bits"))
+	return s
+}

@@ -113,6 +113,23 @@ type Options struct {
 	// concurrently) and only observes state, so setting it cannot change
 	// the result; it must return quickly or it stalls the solve.
 	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil, receives a Snapshot at every write-back
+	// epoch boundary (before that epoch's window refresh) and once more,
+	// with Snapshot.Flush set, when the context is cancelled. The hook
+	// runs on the solve goroutine; returning an error aborts the solve
+	// with that error. Snapshots may be retained after the hook returns.
+	//
+	// With a Checkpoint hook installed, cancellation is observed at
+	// iteration boundaries instead of between chromatic phases (at most
+	// one iteration later), so the final flush always lands at a point
+	// resume can reproduce exactly.
+	Checkpoint func(*Snapshot) error
+	// Resume continues a solve from a Snapshot previously produced by a
+	// Checkpoint hook with the same instance, strategy, schedule, mode
+	// and seed. The snapshot is validated against the hierarchy rebuilt
+	// from the instance and rejected on any mismatch; a resumed run is
+	// bit-identical to one that never stopped.
+	Resume *Snapshot
 }
 
 // ProgressEvent describes how far a solve has advanced. Events map onto
@@ -236,17 +253,55 @@ func SolveContext(ctx context.Context, in *tsplib.Instance, opt Options) (Result
 		return Result{}, err
 	}
 	nodes := permuteNodes(top, order)
+	annealed := h.NumLevels() - 1
+
+	var sn *snapshotter
+	if o.Checkpoint != nil {
+		sn = &snapshotter{hook: o.Checkpoint, topOrder: order, stats: &stats}
+	}
+	startLevel := 0
+	var resume *levelResume
+	if o.Resume != nil {
+		if err := validateResume(o.Resume, h, order, o.Schedule.TotalIters()); err != nil {
+			return Result{}, err
+		}
+		// Replay the completed levels' final orders to rebuild the node
+		// sequence at the in-progress level; each replay re-validates the
+		// orders against the actual clusters.
+		for k, orders := range o.Resume.Done {
+			nodes, err = expandWithOrders(nodes, orders, annealed-k)
+			if err != nil {
+				return Result{}, fmt.Errorf("clustered: resume: %w", err)
+			}
+			if sn != nil {
+				// Seed the snapshotter's history with copies, so later
+				// snapshots do not alias the caller's resume snapshot.
+				cp := make([][]int, len(orders))
+				for ci := range orders {
+					cp[ci] = append([]int(nil), orders[ci]...)
+				}
+				sn.done = append(sn.done, cp)
+			}
+		}
+		stats = o.Resume.Stats
+		startLevel = o.Resume.Level
+		resume = &levelResume{iter: o.Resume.Iter, orders: o.Resume.Orders}
+	}
 
 	// Anneal each level below the top on one persistent worker pool:
 	// workers outlive levels, phases and iterations, so the per-phase
 	// cost is a dispatch, not a goroutine spawn.
 	ex := newExecutor(o)
 	defer ex.close()
+	if sn != nil {
+		sn.ex = ex
+	}
 	var traces [][]float64
-	annealed := h.NumLevels() - 1
-	for li := annealed; li >= 1; li-- {
+	for li := annealed - startLevel; li >= 1; li-- {
 		var trace []float64
-		nodes, trace, err = annealLevel(ctx, nodes, li, annealed-li, annealed, o, &stats, ex)
+		lr := resume
+		resume = nil
+		nodes, trace, err = annealLevel(ctx, nodes, li, annealed-li, annealed, o, &stats, ex, sn, lr)
 		if err != nil {
 			return Result{}, err
 		}
@@ -326,8 +381,10 @@ func (c *clusterState) lastElem() int  { return c.order[len(c.order)-1] }
 // child sequence plus (when requested) the objective trace. levelIdx
 // and levels position the level among the annealed levels (top-down)
 // for progress reporting; ctx aborts the level between phases and at
-// write-back epochs.
-func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, levels int, o Options, stats *Stats, ex *executor) ([]*cluster.Node, []float64, error) {
+// write-back epochs. sn, when non-nil, emits a Snapshot at every epoch
+// boundary (and a flush on cancellation); resume, when non-nil,
+// restarts the level mid-schedule from a snapshot's orders.
+func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, levels int, o Options, stats *Stats, ex *executor, sn *snapshotter, resume *levelResume) ([]*cluster.Node, []float64, error) {
 	nc := len(nodes)
 	state := &levelState{clusters: make([]*clusterState, nc)}
 	for ci, n := range nodes {
@@ -341,7 +398,27 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 		}
 		state.clusters[ci] = cs
 	}
+	if resume != nil {
+		// Adopt the snapshot's in-progress orders, then hold them to the
+		// same permutation invariant the expansion enforces.
+		if len(resume.orders) != nc {
+			return nil, nil, fmt.Errorf("clustered: resume: level %d has %d orders for %d clusters",
+				level, len(resume.orders), nc)
+		}
+		for ci, cs := range state.clusters {
+			if len(resume.orders[ci]) != len(cs.order) {
+				return nil, nil, fmt.Errorf("clustered: resume: level %d cluster %d order has %d slots for %d children",
+					level, ci, len(resume.orders[ci]), len(cs.order))
+			}
+			copy(cs.order, resume.orders[ci])
+		}
+		if err := validateClusterOrders(state, level); err != nil {
+			return nil, nil, fmt.Errorf("clustered: resume: %w", err)
+		}
+	}
 	// Build the weight windows against the initial neighbour geometry.
+	// On resume the loads were already counted when the level first ran,
+	// and the restored Stats carry them — rebuild without re-counting.
 	for ci, cs := range state.clusters {
 		prev := state.clusters[(ci-1+nc)%nc]
 		next := state.clusters[(ci+1)%nc]
@@ -355,7 +432,9 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 			w.MaskWeights(o.WeightBits)
 		}
 		cs.window = w
-		stats.WeightWrites += int64(w.Rows() * w.Cols())
+		if resume == nil {
+			stats.WeightWrites += int64(w.Rows() * w.Cols())
+		}
 	}
 
 	phases := ex.phasesFor(nc)
@@ -378,12 +457,49 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 	job.state = state
 	job.level = level
 	job.opt = &o
-	for iter := 0; iter < iters; iter++ {
+	startIter := 0
+	if resume != nil {
+		startIter = resume.iter
+		if startIter%o.Schedule.EpochIters != 0 {
+			// The snapshot was taken mid-epoch (a cancellation flush).
+			// Re-establish the epoch's window state — WriteBack restores
+			// the clean weights and re-applies the stateless noise, so
+			// this lands bit-identically — without re-counting work the
+			// restored Stats already include.
+			epochStart := startIter - startIter%o.Schedule.EpochIters
+			job.kind = jobRefreshWindows
+			job.silent = true
+			if o.Mode == ModeNoisyCIM {
+				job.vdd, job.nLSB = o.Schedule.At(epochStart)
+			} else {
+				job.vdd, job.nLSB = device.NominalVDD, 0
+			}
+			ex.dispatch(job, nc)
+			job.silent = false
+		}
+	}
+	for iter := startIter; iter < iters; iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
+			cancelErr := fmt.Errorf("clustered: level %d canceled: %w", level, err)
+			if sn != nil {
+				// Persist the exact iteration boundary before giving up,
+				// so an interrupted run resumes from here.
+				if ferr := sn.snap(state, levelIdx, iter, true); ferr != nil {
+					return nil, nil, fmt.Errorf("%w (checkpoint flush also failed: %v)", cancelErr, ferr)
+				}
+			}
+			return nil, nil, cancelErr
 		}
 		vdd, nLSB := o.Schedule.At(iter)
 		if iter%o.Schedule.EpochIters == 0 {
+			if sn != nil {
+				// Snapshot before the refresh: on resume the loop re-runs
+				// the refresh (and re-counts it), matching the
+				// uninterrupted accounting.
+				if err := sn.snap(state, levelIdx, iter, false); err != nil {
+					return nil, nil, err
+				}
+			}
 			// Write-back + pseudo-read epoch; windows are independent, so
 			// the pool sweeps them in parallel.
 			job.kind = jobRefreshWindows
@@ -409,8 +525,13 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 			job.vulnProb = o.Fabric.VulnProb(vdd)
 		}
 		for _, phase := range phases {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
+			if sn == nil {
+				// With checkpointing enabled, cancellation waits for the
+				// next iteration boundary (where a flush is resumable)
+				// instead of aborting between phases.
+				if err := ctx.Err(); err != nil {
+					return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
+				}
 			}
 			job.phase = phase
 			ex.dispatch(job, len(phase))
@@ -434,6 +555,9 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 	// level, noise-free, and cheap next to the 400-iteration anneal.
 	if err := validateClusterOrders(state, level); err != nil {
 		return nil, nil, err
+	}
+	if sn != nil {
+		sn.finishLevel(state)
 	}
 	var out []*cluster.Node
 	for _, cs := range state.clusters {

@@ -68,7 +68,11 @@ type poolJob struct {
 	// the noisy-spins input corruption (unused by the other modes).
 	vulnProb float64
 	// nLSB is the refresh epoch's noisy-LSB count.
-	nLSB   int
+	nLSB int
+	// silent suppresses the refresh work counters: a resume re-applies
+	// the interrupted epoch's refresh to rebuild window state the
+	// restored Stats already paid for.
+	silent bool
 	cursor atomic.Int64
 	wg     sync.WaitGroup
 }
@@ -192,8 +196,10 @@ func (ex *executor) runJob(w int, job *poolJob) {
 			}
 			for _, cs := range clusters[start:end] {
 				cs.window.WriteBack(job.opt.Fabric, job.vdd, job.nLSB)
-				sh.writeBacks++
-				sh.weightWrites += int64(cs.window.Rows() * cs.window.Cols())
+				if !job.silent {
+					sh.writeBacks++
+					sh.weightWrites += int64(cs.window.Rows() * cs.window.Cols())
+				}
 			}
 		}
 	}

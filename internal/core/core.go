@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 
+	"cimsa/internal/checkpoint"
 	"cimsa/internal/cluster"
 	"cimsa/internal/clustered"
 	"cimsa/internal/heuristics"
@@ -52,6 +53,18 @@ type Config struct {
 	// (multi-restart solves emit one full event sequence per replica).
 	// The hook runs on the solve goroutine and must be fast.
 	Progress func(clustered.ProgressEvent)
+	// Checkpoint, when non-nil, receives a durable full-solver snapshot
+	// at every write-back epoch of every replica, at every restart
+	// boundary (Solver == nil, between replicas), and — with
+	// Snapshot.Solver.Flush set — when the context is cancelled.
+	// Returning an error aborts the solve with that error.
+	Checkpoint func(*checkpoint.Snapshot) error
+	// Resume continues a solve from a snapshot previously produced by
+	// Checkpoint. It is verified against the instance and this
+	// configuration before any annealing happens; a corrupt or
+	// mismatched snapshot fails the solve with a diagnostic rather than
+	// silently annealing from bad state.
+	Resume *checkpoint.Snapshot
 }
 
 // Annealer is a configured solver.
@@ -85,6 +98,48 @@ func New(cfg Config) (*Annealer, error) {
 		cfg.Tech = ppa.Tech16nm()
 	}
 	return &Annealer{cfg: cfg, pmax: pmax}, nil
+}
+
+// CheckpointExpect returns the configuration fingerprint a checkpoint
+// for this annealer must carry; Config.Resume snapshots are verified
+// against it (with defaults already normalized by New).
+func (a *Annealer) CheckpointExpect() checkpoint.Expect {
+	restarts := a.cfg.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	return checkpoint.Expect{
+		Seed:     a.cfg.Seed,
+		Mode:     a.cfg.Mode.String(),
+		Restarts: restarts,
+		Strategy: a.cfg.Strategy,
+		Schedule: a.cfg.Schedule,
+	}
+}
+
+// snapshot assembles the durable checkpoint for the given replica
+// index: the run identity, the best tour so far, the completed
+// replicas' aggregated stats, and (mid-replica) the solver state.
+func (a *Annealer) snapshot(in *tsplib.Instance, hash uint64, restarts, rep int, best *clustered.Result, agg *clustered.Stats, solver *clustered.Snapshot) *checkpoint.Snapshot {
+	s := &checkpoint.Snapshot{
+		Instance:     in.Name,
+		N:            in.N(),
+		InstanceHash: hash,
+		Seed:         a.cfg.Seed,
+		Mode:         a.cfg.Mode.String(),
+		Restarts:     restarts,
+		Strategy:     a.cfg.Strategy,
+		Schedule:     a.cfg.Schedule,
+		RNG:          checkpoint.Fingerprint(a.cfg.Seed),
+		Restart:      rep,
+		BestLength:   best.Length,
+		AggStats:     *agg,
+		Solver:       solver,
+	}
+	if len(best.Tour) > 0 {
+		s.BestTour = append([]int(nil), best.Tour...)
+	}
+	return s
 }
 
 // Report is a complete solve outcome.
@@ -125,9 +180,30 @@ func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Repo
 	if restarts < 1 {
 		restarts = 1
 	}
+	var hash uint64
+	if a.cfg.Checkpoint != nil || a.cfg.Resume != nil {
+		hash = checkpoint.InstanceHash(in)
+	}
 	var res clustered.Result
 	var agg clustered.Stats
-	for rep := 0; rep < restarts; rep++ {
+	startRep := 0
+	var resumeSolver *clustered.Snapshot
+	if snap := a.cfg.Resume; snap != nil {
+		if err := snap.Verify(in, a.CheckpointExpect()); err != nil {
+			return nil, err
+		}
+		startRep = snap.Restart
+		agg = snap.AggStats
+		if len(snap.BestTour) > 0 {
+			res = clustered.Result{
+				Tour:   append(tour.Tour(nil), snap.BestTour...),
+				Length: snap.BestLength,
+			}
+		}
+		resumeSolver = snap.Solver
+	}
+	runLevels := 0
+	for rep := startRep; rep < restarts; rep++ {
 		seed := a.cfg.Seed + uint64(rep)
 		opts := clustered.Options{
 			Strategy: a.cfg.Strategy,
@@ -137,12 +213,23 @@ func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Repo
 			Parallel: a.cfg.Parallel,
 			Workers:  a.cfg.Workers,
 		}
+		if rep == startRep {
+			// Mid-replica solver state applies only to the replica the
+			// snapshot was taken in; later replicas start from scratch.
+			opts.Resume = resumeSolver
+		}
 		if a.cfg.Progress != nil {
 			replica := rep
 			progress := a.cfg.Progress
 			opts.Progress = func(ev clustered.ProgressEvent) {
 				ev.Restart = replica
 				progress(ev)
+			}
+		}
+		if a.cfg.Checkpoint != nil {
+			replica := rep
+			opts.Checkpoint = func(cs *clustered.Snapshot) error {
+				return a.cfg.Checkpoint(a.snapshot(in, hash, restarts, replica, &res, &agg, cs))
 			}
 		}
 		if rep > 0 {
@@ -164,13 +251,21 @@ func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Repo
 		// lose — so the energy/PPA inputs count all the work done, not
 		// just the winner's share. The tour is the best replica's.
 		agg.Add(cur.Stats)
-		if rep == 0 || cur.Length < res.Length {
+		// The chip runs one replica's schedule; track the per-run level
+		// count for the hardware profile (identical across replicas, and
+		// a resumed replica's restored stats include its earlier levels).
+		runLevels = cur.Stats.Levels
+		if len(res.Tour) == 0 || cur.Length < res.Length {
 			res = cur
 		}
+		if a.cfg.Checkpoint != nil && rep+1 < restarts {
+			// Restart boundary: persist the inter-replica state so a kill
+			// here resumes straight into replica rep+1.
+			if err := a.cfg.Checkpoint(a.snapshot(in, hash, restarts, rep+1, &res, &agg, nil)); err != nil {
+				return nil, fmt.Errorf("core: checkpoint hook: %w", err)
+			}
+		}
 	}
-	// The chip runs one replica's schedule; keep its per-run level count
-	// for the hardware profile before swapping in the aggregate.
-	runLevels := res.Stats.Levels
 	res.Stats = agg
 	rep := &Report{
 		Instance: in.Name,

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Two kills at different epochs with a different worker count on every
+// leg: the core kill-and-resume invariant, crossing worker counts the
+// way a recovered service boot legitimately may.
+func TestResumeKillAndResumeBitIdentical(t *testing.T) {
+	RunResumeSchedule(t, ResumeSchedule{
+		Seed: 201, N: 200, InstSeed: 5, SolverSeed: 11,
+		Ops: []ResumeOp{
+			{Kind: RKill, Arg: 1},
+			{Kind: RKill, Arg: 4},
+		},
+		Workers: []int{1, 4, 2},
+	})
+}
+
+// A bit-flipped checkpoint must be rejected with a diagnostic naming
+// the file; restoring the pristine bytes must make resume work again.
+func TestResumeCorruptRejectedThenBackupResumes(t *testing.T) {
+	RunResumeSchedule(t, ResumeSchedule{
+		Seed: 202, N: 160, InstSeed: 3, SolverSeed: 7,
+		Ops: []ResumeOp{
+			{Kind: RKill, Arg: 2},
+			{Kind: RCorrupt, Arg: 31},
+			{Kind: RCorrupt, Arg: 4097},
+		},
+		Workers: []int{2, 1},
+	})
+}
+
+// Losing the newest snapshot (crash before the last write was durable)
+// rolls the run back to an earlier epoch; replaying the lost tail must
+// land on the identical final tour.
+func TestResumeStaleCheckpointStillConverges(t *testing.T) {
+	RunResumeSchedule(t, ResumeSchedule{
+		Seed: 203, N: 200, InstSeed: 9, SolverSeed: 13,
+		Ops: []ResumeOp{
+			{Kind: RKill, Arg: 3},
+			{Kind: RStale, Arg: 0},
+		},
+		Workers: []int{1, 3},
+	})
+}
+
+// Crash-mid-write temp debris next to the checkpoint must not affect
+// the resume.
+func TestResumeTornTmpIgnored(t *testing.T) {
+	RunResumeSchedule(t, ResumeSchedule{
+		Seed: 204, N: 160, InstSeed: 2, SolverSeed: 5,
+		Ops: []ResumeOp{
+			{Kind: RTorn, Arg: 17}, // before any checkpoint exists
+			{Kind: RKill, Arg: 2},
+			{Kind: RTorn, Arg: 255}, // beside a live checkpoint
+		},
+		Workers: []int{2, 1},
+	})
+}
+
+// TestResumeSeededMatrix runs generated kill-and-resume schedules for a
+// fixed seed batch; CI and local runs can extend the matrix with a
+// comma-separated FAULTINJECT_RESUME_SEEDS. Any failure prints its
+// seed, and rerunning with FAULTINJECT_RESUME_SEEDS=<seed> replays the
+// identical schedule.
+func TestResumeSeededMatrix(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if env := os.Getenv("FAULTINJECT_RESUME_SEEDS"); env != "" {
+		seeds = nil
+		for _, f := range strings.Split(env, ",") {
+			s, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("FAULTINJECT_RESUME_SEEDS entry %q: %v", f, err)
+			}
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			RunResumeSchedule(t, GenResumeSchedule(seed))
+		})
+	}
+}
+
+// The replay guarantee: the same seed expands to the identical resume
+// schedule.
+func TestGenResumeScheduleDeterministic(t *testing.T) {
+	a, b := GenResumeSchedule(42), GenResumeSchedule(42)
+	if a.N != b.N || a.InstSeed != b.InstSeed || a.SolverSeed != b.SolverSeed ||
+		len(a.Ops) != len(b.Ops) || len(a.Workers) != len(b.Workers) {
+		t.Fatalf("schedule dimensions diverge: %+v vs %+v", a, b)
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d diverges: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
+	}
+	for i := range a.Workers {
+		if a.Workers[i] != b.Workers[i] {
+			t.Fatalf("worker count %d diverges", i)
+		}
+	}
+	c := GenResumeSchedule(43)
+	if a.N == c.N && a.InstSeed == c.InstSeed && a.SolverSeed == c.SolverSeed && len(a.Ops) == len(c.Ops) {
+		same := true
+		for i := range a.Ops {
+			if a.Ops[i] != c.Ops[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical resume schedules")
+		}
+	}
+}

@@ -49,6 +49,28 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's four xoshiro256** state words. Together
+// with Restore it makes the stream position durable: a generator rebuilt
+// from State() continues the exact sequence the original would have
+// produced. The layout (s0..s3 in order) is part of the package's
+// stability contract — checkpoint files persist these words across
+// process restarts and releases.
+func (r *Rand) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// Restore returns a generator positioned at the given state, as captured
+// by State. The all-zero state is not a valid xoshiro state (the stream
+// would be constant zero), so it is rejected by falling back to the
+// guard constant New uses.
+func Restore(state [4]uint64) *Rand {
+	r := &Rand{s0: state[0], s1: state[1], s2: state[2], s3: state[3]}
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.

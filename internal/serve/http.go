@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"cimsa"
 )
@@ -35,6 +36,12 @@ type Server struct {
 	// MaxBodyBytes bounds request bodies (default 32 MiB — TSPLIB
 	// uploads are line-oriented text and 100k cities fit comfortably).
 	MaxBodyBytes int64
+
+	// Journal-recovery state, reported by /healthz (503 while a Recover
+	// pass is still re-enqueuing jobs).
+	recovering       atomic.Bool
+	recovered        atomic.Int64
+	recoveryFailures atomic.Int64
 }
 
 // NewServer wraps a scheduler.
@@ -106,11 +113,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports liveness plus journal-recovery status: 503
+// while a Recover pass is still re-enqueuing jobs (readiness gate),
+// 200 with the recovery tallies afterwards.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"status":         "ok",
+		"recovering":     false,
+		"jobs_recovered": s.recovered.Load(),
+	}
+	if n := s.recoveryFailures.Load(); n > 0 {
+		resp["recovery_failures"] = n
+	}
+	if s.recovering.Load() {
+		resp["status"] = "recovering"
+		resp["recovering"] = true
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -153,7 +178,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("instance has %d cities; this server accepts at most %d", in.N(), s.MaxN))
 		return
 	}
-	job, err := s.sched.Submit(in, req.Options.toOptions())
+	// Re-marshal the parsed request as the journal source: it round-trips
+	// through the same decoder at recovery, and normalizing it here means
+	// a recovered job is built from exactly what this submission parsed.
+	source, err := json.Marshal(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "request not journalable: "+err.Error())
+		return
+	}
+	job, err := s.sched.SubmitSource(in, req.Options.toOptions(), source)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.Status())

@@ -74,6 +74,10 @@ type Job struct {
 	// submission, immutable afterwards.
 	replayLimit int
 
+	// journaled marks a job with a live journal record to retire when it
+	// reaches a terminal state (set at submission, immutable afterwards).
+	journaled bool
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal durably records job submissions so a restarted server can
+// re-enqueue the work that was queued or running when it died. It is an
+// append-only JSONL file: a "submit" record carries the job's ID,
+// submission time and the original request body; an "end" record
+// retires the ID once the job reaches a terminal state. On open the
+// file is replayed — submits without a matching end are the jobs to
+// recover — and compacted down to just those survivors (atomically,
+// via rename), so the journal's size tracks the live job count, not
+// the server's lifetime throughput.
+//
+// Every append is fsynced before the submission is acknowledged: a
+// job the client was told about is a job the journal knows about. A
+// torn final line (crash mid-append) is ignored on replay.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// journalRecord is one JSONL line.
+type journalRecord struct {
+	Op        string          `json:"op"` // "submit" | "end"
+	ID        string          `json:"id"`
+	Submitted time.Time       `json:"submitted,omitempty"`
+	Request   json.RawMessage `json:"request,omitempty"`
+}
+
+// JournalEntry is one live (unfinished) job found during replay.
+type JournalEntry struct {
+	ID        string
+	Submitted time.Time
+	Request   json.RawMessage
+}
+
+// OpenJournal replays and compacts the journal at path (creating it if
+// missing), returning the open journal and the live entries in
+// submission order.
+func OpenJournal(path string) (*Journal, []JournalEntry, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	live, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compact: rewrite only the live submits, atomically, then append
+	// from there. A crash between rename and reopen loses nothing — the
+	// compacted file is complete.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, e := range live {
+		rec := journalRecord{Op: "submit", ID: e.ID, Submitted: e.Submitted, Request: e.Request}
+		if err := appendRecord(f, rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return nil, nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("journal: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("journal: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, nil, fmt.Errorf("journal: rename: %w", err)
+	}
+	out, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: reopen: %w", err)
+	}
+	return &Journal{f: out, path: path}, live, nil
+}
+
+// replayJournal reads the file and returns the unfinished submissions.
+func replayJournal(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	type slot struct {
+		entry JournalEntry
+		seq   int
+	}
+	open := map[string]slot{}
+	seq := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing line from a crashed append; everything before
+			// it already parsed, so recovery proceeds on what is durable.
+			break
+		}
+		switch rec.Op {
+		case "submit":
+			seq++
+			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
+		case "end":
+			delete(open, rec.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	slots := make([]slot, 0, len(open))
+	for _, s := range open {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, k int) bool { return slots[i].seq < slots[k].seq })
+	entries := make([]JournalEntry, len(slots))
+	for i, s := range slots {
+		entries[i] = s.entry
+	}
+	return entries, nil
+}
+
+func appendRecord(f *os.File, rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return nil
+}
+
+// append writes one record and fsyncs it.
+func (j *Journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if err := appendRecord(j.f, rec); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
+}
+
+// Submitted records an accepted job with its original request body.
+func (j *Journal) Submitted(id string, submitted time.Time, request json.RawMessage) error {
+	return j.append(journalRecord{Op: "submit", ID: id, Submitted: submitted, Request: request})
+}
+
+// Finished retires a job that reached a terminal state (done, failed
+// or canceled) — it will not be recovered on the next boot.
+func (j *Journal) Finished(id string) error {
+	return j.append(journalRecord{Op: "end", ID: id})
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

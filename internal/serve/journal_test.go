@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cimsa"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []JournalEntry) {
+	t.Helper()
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, entries
+}
+
+func TestJournalRoundTripAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(entries))
+	}
+	ts := time.Unix(5000, 0).UTC()
+	for _, id := range []string{"a", "b", "c"} {
+		if err := j.Submitted(id, ts, json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Finished("b"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, entries = openTestJournal(t, path)
+	if len(entries) != 2 || entries[0].ID != "a" || entries[1].ID != "c" {
+		t.Fatalf("replay returned %+v", entries)
+	}
+	if !entries[0].Submitted.Equal(ts) {
+		t.Fatalf("submission time lost: %v", entries[0].Submitted)
+	}
+	if string(entries[1].Request) != `{"job":"c"}` {
+		t.Fatalf("request body lost: %s", entries[1].Request)
+	}
+	// Compaction rewrote the file down to the two live records.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Fatalf("compacted journal has %d lines:\n%s", lines, data)
+	}
+}
+
+func TestJournalIgnoresTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openTestJournal(t, path)
+	if err := j.Submitted("whole", time.Unix(1, 0), json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A crash mid-append leaves a torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"submit","id":"to`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, entries := openTestJournal(t, path)
+	if len(entries) != 1 || entries[0].ID != "whole" {
+		t.Fatalf("torn tail corrupted replay: %+v", entries)
+	}
+}
+
+// jobRequest is a journalable SubmitRequest body for a deterministic
+// synthetic instance.
+func jobRequest(t *testing.T, n int) json.RawMessage {
+	t.Helper()
+	req := SubmitRequest{
+		Generate: &GenerateSpec{Name: "srv-ckpt", N: n, Seed: 3},
+		Options:  OptionsSpec{PMax: 3, Seed: 9, SkipHardware: true},
+	}
+	data, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func waitTerminal(t *testing.T, job *Job) Status {
+	t.Helper()
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", job.ID)
+	}
+	return job.Status()
+}
+
+// TestSchedulerRetiresJournaledJobs: a terminal job's record leaves
+// the journal, so the next boot has nothing to recover.
+func TestSchedulerRetiresJournaledJobs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _ := openTestJournal(t, path)
+	s := NewScheduler(Config{
+		Journal: j,
+		Solve: func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+			return &cimsa.Report{Instance: in.Name, N: in.N()}, nil
+		},
+	})
+	defer s.Shutdown(context.Background())
+	in := cimsa.GenerateInstance("retire", 50, 1)
+	job, err := s.SubmitSource(in, cimsa.Options{SkipHardware: true}, jobRequest(t, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	j.Close()
+	_, entries := openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("finished job still live in journal: %+v", entries)
+	}
+}
+
+// crashState fabricates what a killed server leaves on disk: a journal
+// with one live job and (optionally) the checkpoint its solver flushed
+// before dying — produced by genuinely interrupting a real solve.
+func crashState(t *testing.T, stateDir, jobID string, n int, withCheckpoint bool) {
+	t.Helper()
+	j, _ := openTestJournal(t, filepath.Join(stateDir, "journal.jsonl"))
+	if err := j.Submitted(jobID, time.Unix(7000, 0), jobRequest(t, n)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if !withCheckpoint {
+		return
+	}
+	in := cimsa.GenerateInstance("srv-ckpt", n, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	events := 0
+	_, err := cimsa.SolveContext(ctx, in, cimsa.Options{
+		PMax: 3, Seed: 9, SkipHardware: true,
+		Progress: func(cimsa.ProgressEvent) {
+			events++
+			if events == 3 {
+				cancel()
+			}
+		},
+		Checkpoint: cimsa.Checkpoint{Dir: filepath.Join(stateDir, "checkpoints", jobID)},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupt: %v", err)
+	}
+}
+
+func bootServer(t *testing.T, stateDir string) (*Server, *Scheduler, []JournalEntry) {
+	t.Helper()
+	j, entries := openTestJournal(t, filepath.Join(stateDir, "journal.jsonl"))
+	s := NewScheduler(Config{
+		Journal:       j,
+		CheckpointDir: filepath.Join(stateDir, "checkpoints"),
+		Logf:          t.Logf,
+	})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return NewServer(s), s, entries
+}
+
+// TestRecoverResumesInterruptedJob is the cimserve crash story end to
+// end: kill a server mid-solve, boot a new one on the same state dir,
+// and the job finishes under its original ID with a result
+// bit-identical to a never-interrupted run.
+func TestRecoverResumesInterruptedJob(t *testing.T) {
+	const n = 240
+	in := cimsa.GenerateInstance("srv-ckpt", n, 3)
+	want, err := cimsa.Solve(in, cimsa.Options{PMax: 3, Seed: 9, SkipHardware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stateDir := t.TempDir()
+	crashState(t, stateDir, "j0001-dead00", n, true)
+	srv, sched, entries := bootServer(t, stateDir)
+	if got := srv.Recover(entries); got != 1 {
+		t.Fatalf("Recover re-enqueued %d jobs", got)
+	}
+	job, ok := sched.Get("j0001-dead00")
+	if !ok {
+		t.Fatal("recovered job lost its ID")
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("recovered job ended %s (%s)", st.State, st.Error)
+	}
+	rep := job.Report()
+	if !reflect.DeepEqual(rep.Tour, want.Tour) || rep.Length != want.Length || rep.Solver != want.Solver {
+		t.Fatal("recovered job's result differs from an uninterrupted run")
+	}
+	if sched.Metrics.Resumes.Load() != 1 {
+		t.Fatalf("resumes_total = %d, want 1", sched.Metrics.Resumes.Load())
+	}
+	if sched.Metrics.Recovered.Load() != 1 {
+		t.Fatalf("jobs_recovered_total = %d, want 1", sched.Metrics.Recovered.Load())
+	}
+	if sched.Metrics.CheckpointsWritten.Load() == 0 {
+		t.Fatal("resumed solve wrote no further checkpoints")
+	}
+	// Terminal: the checkpoint directory is gone and the journal empty.
+	if _, err := os.Stat(filepath.Join(stateDir, "checkpoints", "j0001-dead00")); !os.IsNotExist(err) {
+		t.Fatalf("finished job's checkpoint dir survives: %v", err)
+	}
+}
+
+// TestRecoverCorruptCheckpointSolvesFresh: a damaged checkpoint is
+// rejected with a diagnostic and discarded; the job still completes,
+// correctly, from scratch.
+func TestRecoverCorruptCheckpointSolvesFresh(t *testing.T) {
+	const n = 160
+	in := cimsa.GenerateInstance("srv-ckpt", n, 3)
+	want, err := cimsa.Solve(in, cimsa.Options{PMax: 3, Seed: 9, SkipHardware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := t.TempDir()
+	crashState(t, stateDir, "j0001-bad000", n, true)
+	ckptDir := filepath.Join(stateDir, "checkpoints", "j0001-bad000")
+	files, err := filepath.Glob(filepath.Join(ckptDir, "*.ckpt"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files: %v %v", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, sched, entries := bootServer(t, stateDir)
+	if got := srv.Recover(entries); got != 1 {
+		t.Fatalf("Recover re-enqueued %d jobs", got)
+	}
+	job, _ := sched.Get("j0001-bad000")
+	st := waitTerminal(t, job)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s (%s)", st.State, st.Error)
+	}
+	if !reflect.DeepEqual(job.Report().Tour, want.Tour) {
+		t.Fatal("fresh fallback solve produced a different result")
+	}
+	if sched.Metrics.ResumeFailures.Load() != 1 {
+		t.Fatalf("resume_failures_total = %d, want 1", sched.Metrics.ResumeFailures.Load())
+	}
+}
+
+// TestRecoverDropsUnbuildableEntry: a journal record that no longer
+// parses is dropped once — retired from the journal, counted, not
+// wedging every future boot.
+func TestRecoverDropsUnbuildableEntry(t *testing.T) {
+	stateDir := t.TempDir()
+	path := filepath.Join(stateDir, "journal.jsonl")
+	j, _ := openTestJournal(t, path)
+	if err := j.Submitted("j0001-junk00", time.Unix(1, 0), json.RawMessage(`{"name":"no-such-instance-xyz"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	srv, sched, entries := bootServer(t, stateDir)
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 entry, got %d", len(entries))
+	}
+	if got := srv.Recover(entries); got != 0 {
+		t.Fatalf("unbuildable entry recovered %d jobs", got)
+	}
+	if _, ok := sched.Get("j0001-junk00"); ok {
+		t.Fatal("unbuildable job was enqueued")
+	}
+	if srv.recoveryFailures.Load() != 1 {
+		t.Fatalf("recoveryFailures = %d", srv.recoveryFailures.Load())
+	}
+	// The drop is durable: the record is retired.
+	sched.Shutdown(context.Background())
+	_, entries = openTestJournal(t, path)
+	if len(entries) != 0 {
+		t.Fatalf("dropped entry still live: %+v", entries)
+	}
+}
+
+// TestHealthzReportsRecovery: 503 while recovering, then 200 with the
+// tallies.
+func TestHealthzReportsRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	srv, _, _ := bootServer(t, stateDir)
+	h := srv.Handler()
+
+	srv.recovering.Store(true)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("recovering healthz = %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["status"] != "recovering" {
+		t.Fatalf("healthz body %v", resp)
+	}
+
+	srv.recovering.Store(false)
+	srv.recovered.Store(3)
+	srv.recoveryFailures.Store(1)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready healthz = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["status"] != "ok" || resp["jobs_recovered"] != float64(3) || resp["recovery_failures"] != float64(1) {
+		t.Fatalf("healthz body %v", resp)
+	}
+}
+
+// TestSubmitJournalsThroughHTTP: the HTTP submit path persists the
+// request body, and the new checkpoint metrics appear on /metrics.
+func TestSubmitJournalsThroughHTTP(t *testing.T) {
+	stateDir := t.TempDir()
+	path := filepath.Join(stateDir, "journal.jsonl")
+	j, _ := openTestJournal(t, path)
+	block := make(chan struct{})
+	s := NewScheduler(Config{
+		Journal: j,
+		Solve: func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+			<-block
+			return &cimsa.Report{Instance: in.Name, N: in.N()}, nil
+		},
+	})
+	defer func() {
+		close(block)
+		s.Shutdown(context.Background())
+	}()
+	srv := NewServer(s)
+	h := srv.Handler()
+
+	rec := httptest.NewRecorder()
+	body := `{"generate":{"name":"http-journal","n":60,"seed":2},"options":{"pmax":3,"skip_hardware":true}}`
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(body)))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != st.ID {
+		t.Fatalf("journal entries %+v, want job %s", entries, st.ID)
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(entries[0].Request, &req); err != nil {
+		t.Fatalf("journaled request does not parse: %v", err)
+	}
+	if req.Generate == nil || req.Generate.N != 60 {
+		t.Fatalf("journaled request lost the instance: %+v", req)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, metric := range []string{
+		"cimserve_checkpoints_written_total",
+		"cimserve_resumes_total",
+		"cimserve_resume_failures_total",
+		"cimserve_jobs_recovered_total",
+	} {
+		if !strings.Contains(rec.Body.String(), metric) {
+			t.Errorf("/metrics missing %s", metric)
+		}
+	}
+}

@@ -19,6 +19,11 @@ type Metrics struct {
 	Failed    atomic.Int64 // jobs finished with an error
 	Canceled  atomic.Int64 // jobs canceled (queued or running)
 
+	CheckpointsWritten atomic.Int64 // durable solver snapshots written
+	Resumes            atomic.Int64 // solves continued from a checkpoint
+	ResumeFailures     atomic.Int64 // checkpoints rejected (job solved fresh)
+	Recovered          atomic.Int64 // jobs re-enqueued from the journal on boot
+
 	// solveNanos and iterations accumulate over completed solves; their
 	// ratio is the service's aggregate iterations/sec.
 	solveNanos atomic.Int64
@@ -57,6 +62,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"cimserve_jobs_done_total", "counter", "Jobs finished successfully.", float64(m.Done.Load())},
 		{"cimserve_jobs_failed_total", "counter", "Jobs finished with a solver error.", float64(m.Failed.Load())},
 		{"cimserve_jobs_canceled_total", "counter", "Jobs canceled while queued or running.", float64(m.Canceled.Load())},
+		{"cimserve_checkpoints_written_total", "counter", "Durable solver snapshots written.", float64(m.CheckpointsWritten.Load())},
+		{"cimserve_resumes_total", "counter", "Solves continued from an on-disk checkpoint.", float64(m.Resumes.Load())},
+		{"cimserve_resume_failures_total", "counter", "Checkpoints rejected as corrupt or mismatched (the job solved fresh).", float64(m.ResumeFailures.Load())},
+		{"cimserve_jobs_recovered_total", "counter", "Jobs re-enqueued from the journal at boot.", float64(m.Recovered.Load())},
 		{"cimserve_solve_seconds_total", "counter", "Wall-clock seconds spent in completed solves.", secs},
 		{"cimserve_solve_iterations_total", "counter", "Annealing iterations performed by completed solves.", iters},
 		{"cimserve_solve_iterations_per_second", "gauge", "Aggregate annealing throughput over completed solves.", ips},

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+
+	"cimsa"
+)
+
+// Recover rebuilds and re-enqueues the journal's live entries — jobs
+// that were queued or running when the previous process died. Each
+// entry's original request body is parsed through the same path as a
+// fresh submission; the job keeps its ID and submission time, and its
+// checkpoint directory (if any) makes the solve resume mid-anneal,
+// bit-identical to never having been interrupted.
+//
+// An entry that no longer builds (unparseable record, instance over
+// MaxN, queue full) is dropped: logged, retired from the journal, its
+// checkpoints removed — it will not wedge every future boot. Returns
+// the number of jobs re-enqueued. /healthz serves 503 until Recover
+// returns.
+func (s *Server) Recover(entries []JournalEntry) int {
+	s.recovering.Store(true)
+	defer s.recovering.Store(false)
+	n := 0
+	for _, e := range entries {
+		var req SubmitRequest
+		err := json.Unmarshal(e.Request, &req)
+		var in *cimsa.Instance
+		if err == nil {
+			in, err = s.buildInstance(&req)
+		}
+		if err == nil {
+			_, err = s.sched.Resubmit(e.ID, e.Submitted, in, req.Options.toOptions())
+		}
+		if err != nil {
+			s.sched.cfg.Logf("recovery: dropping job %s: %v", e.ID, err)
+			s.recoveryFailures.Add(1)
+			if j := s.sched.cfg.Journal; j != nil {
+				if ferr := j.Finished(e.ID); ferr != nil {
+					s.sched.cfg.Logf("recovery: retiring job %s: %v", e.ID, ferr)
+				}
+			}
+			if s.sched.cfg.CheckpointDir != "" {
+				_ = os.RemoveAll(s.sched.jobCheckpointDir(e.ID))
+			}
+			continue
+		}
+		s.sched.Metrics.Recovered.Add(1)
+		s.recovered.Add(1)
+		n++
+	}
+	return n
+}

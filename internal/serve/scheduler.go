@@ -4,14 +4,18 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"cimsa"
+	"cimsa/internal/checkpoint"
 )
 
 // SolveFunc runs one job's solve. Production uses cimsa.SolveContext;
@@ -38,6 +42,26 @@ type Config struct {
 	// 512); the oldest events are evicted first and reported to clients
 	// via Status.EventsEvicted and a "truncated" stream frame.
 	ReplayBuffer int
+
+	// Journal, when non-nil, durably records submissions that carry a
+	// request body (SubmitSource) and retires them on completion, so a
+	// crashed server's queued and running jobs are re-enqueued on boot
+	// (Server.Recover). Appends are fsynced before the submission is
+	// acknowledged.
+	Journal *Journal
+	// CheckpointDir, when set, gives every job a solver checkpoint
+	// directory (CheckpointDir/<jobID>) so a recovered job resumes
+	// mid-solve — bit-identical to never having stopped — instead of
+	// starting over. A corrupt or mismatched checkpoint is discarded
+	// with a diagnostic and the job solves fresh; it never fails the
+	// job and is never silently annealed from. The directory is removed
+	// when the job reaches a terminal state.
+	CheckpointDir string
+	// CheckpointEvery writes one snapshot per that many write-back
+	// epochs (0 or 1: every epoch).
+	CheckpointEvery int
+	// Logf receives recovery and resume diagnostics (nil: discarded).
+	Logf func(format string, args ...any)
 
 	// Solve and Now are seams for tests and the fault-injection harness
 	// (internal/faultinject); nil means cimsa.SolveContext and time.Now.
@@ -69,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	return c
 }
 
@@ -95,6 +122,9 @@ type Scheduler struct {
 	workers     sync.WaitGroup
 	janitorStop chan struct{}
 	idSeq       atomic.Int64
+	// draining is set when Shutdown's deadline forces mass cancellation;
+	// retire leaves those jobs' durable state for the next boot.
+	draining atomic.Bool
 }
 
 // NewScheduler starts the worker slots and the TTL janitor.
@@ -127,15 +157,45 @@ func (s *Scheduler) newID() string {
 // Submit validates and enqueues a job. The instance and options are
 // owned by the scheduler afterwards and must not be mutated.
 func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error) {
+	return s.SubmitSource(in, opts, nil)
+}
+
+// SubmitSource is Submit carrying the original request body: with a
+// journal configured, the source is persisted (fsynced) before the
+// submission is acknowledged, and a later boot can rebuild and
+// re-enqueue the job from it. A nil source skips journaling — the job
+// cannot be recovered.
+func (s *Scheduler) SubmitSource(in *cimsa.Instance, opts cimsa.Options, source json.RawMessage) (*Job, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	return s.enqueue(s.newID(), time.Time{}, in, opts, source, false)
+}
+
+// Resubmit re-enqueues a recovered job under its original ID and
+// submission time. The journal already holds its record, so nothing is
+// re-journaled.
+func (s *Scheduler) Resubmit(id string, submitted time.Time, in *cimsa.Instance, opts cimsa.Options) (*Job, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return s.enqueue(id, submitted, in, opts, nil, s.cfg.Journal != nil)
+}
+
+// enqueue admits a job under s.mu. A zero submitted time means "now";
+// a non-nil source is journaled inside the critical section, so the
+// journal order matches the queue order; journaled marks a recovered
+// job whose record is already in the journal.
+func (s *Scheduler) enqueue(id string, submitted time.Time, in *cimsa.Instance, opts cimsa.Options, source json.RawMessage, journaled bool) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
-		ID:          s.newID(),
+		ID:          id,
 		in:          in,
 		opts:        opts,
 		ctx:         ctx,
@@ -143,6 +203,7 @@ func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error)
 		done:        make(chan struct{}),
 		state:       StateQueued,
 		replayLimit: s.cfg.ReplayBuffer,
+		journaled:   journaled,
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -150,14 +211,32 @@ func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error)
 		cancel()
 		return nil, ErrShuttingDown
 	}
-	job.submitted = s.cfg.Now()
-	// Only Submit sends on the queue and only while holding s.mu, so a
+	if _, dup := s.jobs[job.ID]; dup {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("serve: job %s already exists", job.ID)
+	}
+	job.submitted = submitted
+	if job.submitted.IsZero() {
+		job.submitted = s.cfg.Now()
+	}
+	// Only enqueue sends on the queue and only while holding s.mu, so a
 	// capacity check here decides the send without racing other senders.
 	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		cancel()
 		s.Metrics.Rejected.Add(1)
 		return nil, ErrQueueFull
+	}
+	if s.cfg.Journal != nil && source != nil {
+		// Durability before acknowledgement: if the journal can't hold
+		// the job, the client must not believe it was accepted.
+		if err := s.cfg.Journal.Submitted(job.ID, job.submitted, source); err != nil {
+			s.mu.Unlock()
+			cancel()
+			return nil, err
+		}
+		job.journaled = true
 	}
 	// The gauge must rise before the job becomes visible to a worker:
 	// workers don't take s.mu, so incrementing after the send lets an
@@ -226,8 +305,45 @@ func (s *Scheduler) Cancel(id string) bool {
 	s.Metrics.Queued.Add(-1)
 	s.Metrics.Canceled.Add(1)
 	job.publish("canceled", nil, 0, "")
+	// Retire before signalling done: an observer of Done() may rely on
+	// the durable footprint (journal record, checkpoints) being gone.
+	s.retire(job)
 	close(job.done)
 	return true
+}
+
+// retire cleans up a terminal job's durable footprint: its journal
+// record (so the next boot will not recover it) and its checkpoint
+// directory. Failures are logged, not fatal — the job itself finished.
+//
+// Exception: a job cancelled by the shutdown drain deadline was not
+// cancelled by anyone who wanted it gone — its record and checkpoint
+// are left in place so the next boot resumes it from the snapshot the
+// solver flushed on the way out.
+func (s *Scheduler) retire(job *Job) {
+	if s.draining.Load() {
+		job.mu.Lock()
+		canceled := job.state == StateCanceled
+		job.mu.Unlock()
+		if canceled {
+			s.cfg.Logf("job %s: interrupted by shutdown; preserved for recovery", job.ID)
+			return
+		}
+	}
+	if job.journaled && s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Finished(job.ID); err != nil {
+			s.cfg.Logf("job %s: journal retire: %v", job.ID, err)
+		}
+	}
+	if s.cfg.CheckpointDir != "" {
+		if err := os.RemoveAll(s.jobCheckpointDir(job.ID)); err != nil {
+			s.cfg.Logf("job %s: checkpoint cleanup: %v", job.ID, err)
+		}
+	}
+}
+
+func (s *Scheduler) jobCheckpointDir(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id)
 }
 
 func (s *Scheduler) worker() {
@@ -257,8 +373,33 @@ func (s *Scheduler) run(job *Job) {
 		pe := ev
 		job.publish("progress", &pe, 0, "")
 	}
+	if s.cfg.CheckpointDir != "" {
+		opts.Checkpoint = cimsa.Checkpoint{
+			Dir:         s.jobCheckpointDir(job.ID),
+			EveryEpochs: s.cfg.CheckpointEvery,
+			Resume:      true,
+			OnWrite:     func(string) { s.Metrics.CheckpointsWritten.Add(1) },
+			OnResume: func(path string) {
+				s.Metrics.Resumes.Add(1)
+				s.cfg.Logf("job %s: resuming from checkpoint %s", job.ID, path)
+			},
+		}
+	}
 	start := s.cfg.Now()
 	rep, err := s.cfg.Solve(job.ctx, job.in, opts)
+	if err != nil && opts.Checkpoint.Dir != "" &&
+		(errors.Is(err, checkpoint.ErrInvalid) || errors.Is(err, checkpoint.ErrMismatch)) {
+		// The checkpoint this job left behind is unusable (corrupt file,
+		// or the recovered request maps to a different design point).
+		// Never anneal from bad state and never fail the job for it:
+		// log the diagnostic, discard the directory, solve fresh.
+		s.Metrics.ResumeFailures.Add(1)
+		s.cfg.Logf("job %s: checkpoint rejected, solving fresh: %v", job.ID, err)
+		if rerr := os.RemoveAll(opts.Checkpoint.Dir); rerr != nil {
+			s.cfg.Logf("job %s: discarding checkpoint: %v", job.ID, rerr)
+		}
+		rep, err = s.cfg.Solve(job.ctx, job.in, opts)
+	}
 	elapsed := s.cfg.Now().Sub(start)
 	s.Metrics.Running.Add(-1)
 
@@ -286,6 +427,12 @@ func (s *Scheduler) run(job *Job) {
 		s.Metrics.Failed.Add(1)
 		job.publish("failed", nil, 0, err.Error())
 	}
+	// A cancelled job is terminal from the client's point of view (the
+	// cancel was asked for), so its journal record and checkpoints are
+	// retired like any other outcome; only a killed process leaves them
+	// behind for recovery. Retire before signalling done so observers
+	// of Done() see the durable footprint already gone.
+	s.retire(job)
 	close(job.done)
 }
 
@@ -355,6 +502,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
+		s.draining.Store(true)
 		s.mu.Lock()
 		ids := make([]string, 0, len(s.jobs))
 		for id := range s.jobs {
