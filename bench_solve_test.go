@@ -24,16 +24,22 @@ import (
 	"cimsa"
 )
 
-// benchSizes are the hot-loop workload sizes (cities).
-var benchSizes = []int{1000, 5000, 10000}
+// benchSizes are the hot-loop workload sizes (cities). The largest
+// point matches pla85900, the biggest TSPLIB instance the paper's
+// scaling argument targets.
+var benchSizes = []int{1000, 5000, 10000, 85900}
 
-// benchModes are the execution modes the harness compares.
+// benchModes are the execution modes the harness compares. "auto" is
+// Workers=WorkersAuto: the solver picks sequential or pooled per level
+// from the instance size, so it should track the better of the other
+// two at every size.
 var benchModes = []struct {
 	name    string
 	options cimsa.Options
 }{
 	{"sequential", cimsa.Options{Seed: 7, SkipHardware: true}},
 	{"pooled", cimsa.Options{Seed: 7, SkipHardware: true, Parallel: true}},
+	{"auto", cimsa.Options{Seed: 7, SkipHardware: true, Workers: cimsa.WorkersAuto}},
 }
 
 func solveOnce(tb testing.TB, in *cimsa.Instance, opt cimsa.Options) {
@@ -72,6 +78,7 @@ type benchResult struct {
 type benchFile struct {
 	Generated  string        `json:"generated"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	Note       string        `json:"note"`
 	Results    []benchResult `json:"results"`
 	// SeedReference pins the pre-worker-pool baseline (per-phase
@@ -92,8 +99,11 @@ type seedReference struct {
 }
 
 // TestEmitSolveBench measures the hot loop at every (mode, size) point
-// and writes BENCH_solve.json in the repo root. It is the perf record
-// for the PR trail, not a pass/fail gate, and only runs when
+// and writes BENCH_solve.json in the repo root (or the path named by
+// CIMSA_BENCH_OUT, so CI can measure without dirtying the checkout).
+// The committed file is the perf record for the PR trail; the CI
+// bench-gate job (cmd/benchgate) compares a fresh measurement against
+// it and fails on pooled-dispatch regressions. Only runs when
 // CIMSA_EMIT_BENCH=1 is set.
 func TestEmitSolveBench(t *testing.T) {
 	if os.Getenv("CIMSA_EMIT_BENCH") == "" {
@@ -103,6 +113,7 @@ func TestEmitSolveBench(t *testing.T) {
 	out := benchFile{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Note:       "best of " + fmt.Sprint(reps) + " full solves per point; pooled ≡ sequential tours byte-for-byte",
 		SeedReference: seedReference{
 			Cities:            5000,
@@ -132,7 +143,12 @@ func TestEmitSolveBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_solve.json", append(data, '\n'), 0o644); err != nil {
+	path := os.Getenv("CIMSA_BENCH_OUT")
+	if path == "" {
+		path = "BENCH_solve.json"
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	t.Logf("wrote %s", path)
 }

@@ -37,6 +37,14 @@ import (
 // package for facade users).
 type Instance = tsplib.Instance
 
+// WorkersAuto, assigned to Options.Workers, lets the solver pick the
+// pool size per solve from the instance size and GOMAXPROCS: small
+// instances run sequentially, paper-scale ones spread across cores.
+// Auto is the right default for mixed workloads (e.g. a solve service
+// fielding both 500-city and 85k-city jobs); like every other worker
+// count it is bit-identical to sequential execution.
+const WorkersAuto = clustered.WorkersAuto
+
 // Tour is a cyclic visiting order of city indices.
 type Tour = tour.Tour
 
@@ -68,12 +76,16 @@ type Options struct {
 	// pool, like the hardware updates all same-phase windows at once.
 	// Results are bit-identical to the sequential mode.
 	Parallel bool
-	// Workers sets the worker-pool size explicitly (0 picks GOMAXPROCS
-	// when Parallel is set; any value > 1 enables the pool on its own).
-	// Every worker count produces bit-identical results — enforced in
-	// clustered's determinism tests and again at the service boundary
-	// (internal/faultinject), where solves run next to cancelled
-	// siblings with the scheduler's Progress hook injected.
+	// Workers sets the worker-pool size: any value > 1 enables the pool
+	// on its own, 1 forces fully inline execution, 0 picks GOMAXPROCS
+	// when Parallel is set (and stays sequential otherwise), and
+	// WorkersAuto (-1) lets the solver choose from the instance size and
+	// GOMAXPROCS — sequential where the pool cannot pay for its own
+	// hand-offs, pooled at paper scale. Every worker count produces
+	// bit-identical results — enforced in clustered's determinism tests
+	// and again at the service boundary (internal/faultinject), where
+	// solves run next to cancelled siblings with the scheduler's
+	// Progress hook injected.
 	Workers int
 	// Mode selects the randomness source by name: "noisy-cim" (default),
 	// "metropolis", "greedy" or "noisy-spins" (the ablations of
@@ -126,8 +138,8 @@ func (o Options) Validate() error {
 	if o.PMax != 0 && (o.PMax < 2 || o.PMax > 8) {
 		return fmt.Errorf("cimsa: PMax %d out of range 2..8 (0 defaults to 3)", o.PMax)
 	}
-	if o.Workers < 0 {
-		return fmt.Errorf("cimsa: negative Workers %d", o.Workers)
+	if o.Workers < WorkersAuto {
+		return fmt.Errorf("cimsa: negative Workers %d (only WorkersAuto = %d is allowed below 0)", o.Workers, WorkersAuto)
 	}
 	if o.Restarts < 0 {
 		return fmt.Errorf("cimsa: negative Restarts %d", o.Restarts)

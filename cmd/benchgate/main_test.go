@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// bf builds a benchFile with sequential/pooled pairs at the given
+// sizes; times[i] is {sequentialSeconds, pooledSeconds} for sizes[i].
+func bf(numCPU int, sizes []int, times [][2]float64) *benchFile {
+	f := &benchFile{GoMaxProcs: numCPU, NumCPU: numCPU}
+	for i, size := range sizes {
+		f.Results = append(f.Results,
+			benchResult{Cities: size, Mode: "sequential", Seconds: times[i][0]},
+			benchResult{Cities: size, Mode: "pooled", Seconds: times[i][1]},
+		)
+	}
+	return f
+}
+
+var defaultCfg = gateConfig{Tolerance: 0.15, RequireSpeedup: 1.2, RequireAt: 10000, MinCPUs: 4}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	committed := bf(4, []int{1000, 10000}, [][2]float64{{0.04, 0.05}, {0.40, 0.30}})
+	// Ratios drift a little but stay under committed*1.15, and the
+	// 10k speedup 0.40/0.31 = 1.29x clears 1.2x.
+	measured := bf(4, []int{1000, 10000}, [][2]float64{{0.04, 0.055}, {0.40, 0.31}})
+	violations, _ := gate(committed, measured, defaultCfg)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+}
+
+func TestGateCatchesRatioRegression(t *testing.T) {
+	committed := bf(4, []int{5000}, [][2]float64{{0.20, 0.18}})
+	// ratio 0.9 committed; measured 1.3 — dispatch overhead is back.
+	measured := bf(4, []int{5000}, [][2]float64{{0.20, 0.26}})
+	violations, _ := gate(committed, measured, gateConfig{Tolerance: 0.15})
+	if len(violations) != 1 || !strings.Contains(violations[0], "5000 cities") {
+		t.Fatalf("want one 5000-cities ratio violation, got %v", violations)
+	}
+}
+
+func TestGateCatchesMissingSpeedup(t *testing.T) {
+	committed := bf(4, []int{10000}, [][2]float64{{0.40, 0.30}})
+	// Ratio matches committed exactly (no drift violation) but the
+	// speedup is only 0.40/0.36 = 1.11x on a 4-CPU runner.
+	committed.Results[1].Seconds = 0.36
+	measured := bf(4, []int{10000}, [][2]float64{{0.40, 0.36}})
+	violations, _ := gate(committed, measured, defaultCfg)
+	if len(violations) != 1 || !strings.Contains(violations[0], "speedup") {
+		t.Fatalf("want one speedup violation, got %v", violations)
+	}
+}
+
+func TestGateSkipsSpeedupOnSmallRunners(t *testing.T) {
+	committed := bf(4, []int{10000}, [][2]float64{{0.40, 0.48}})
+	// A 1-CPU runner cannot show a pooled win; ratio holds, speedup
+	// check must be skipped rather than failed.
+	measured := bf(1, []int{10000}, [][2]float64{{0.40, 0.48}})
+	violations, notes := gate(committed, measured, defaultCfg)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "skipped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no skip note in %v", notes)
+	}
+}
+
+func TestGateFailsOnMissingMeasuredSize(t *testing.T) {
+	committed := bf(4, []int{1000, 10000}, [][2]float64{{0.04, 0.05}, {0.40, 0.30}})
+	measured := bf(4, []int{1000}, [][2]float64{{0.04, 0.05}})
+	violations, _ := gate(committed, measured, defaultCfg)
+	if len(violations) == 0 {
+		t.Fatal("missing 10000-city measurement not flagged")
+	}
+}
+
+func TestGateFailsOnNoOverlap(t *testing.T) {
+	committed := bf(4, []int{1000}, [][2]float64{{0.04, 0.05}})
+	measured := &benchFile{NumCPU: 4}
+	violations, _ := gate(committed, measured, gateConfig{Tolerance: 0.15})
+	if len(violations) == 0 {
+		t.Fatal("empty measured file not flagged")
+	}
+}
+
+// Extra modes (e.g. "auto") in either file must not confuse the
+// pooled/sequential pairing.
+func TestGateIgnoresExtraModes(t *testing.T) {
+	committed := bf(4, []int{5000}, [][2]float64{{0.20, 0.18}})
+	measured := bf(4, []int{5000}, [][2]float64{{0.20, 0.19}})
+	measured.Results = append(measured.Results, benchResult{Cities: 5000, Mode: "auto", Seconds: 0.17})
+	violations, _ := gate(committed, measured, gateConfig{Tolerance: 0.15})
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+}

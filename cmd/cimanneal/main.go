@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"cimsa"
 	"cimsa/internal/tsplib"
@@ -36,7 +37,7 @@ func main() {
 		mode     = flag.String("mode", "noisy-cim", "randomness source: noisy-cim | metropolis | greedy | noisy-spins")
 		restarts = flag.Int("restarts", 1, "independent replicas; the best tour wins")
 		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across a worker pool (GOMAXPROCS workers)")
-		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS with -parallel; results identical for any value)")
+		workers  = flag.String("workers", "0", "worker-pool size: a count, 0 (GOMAXPROCS with -parallel), or auto (pick from instance size; results identical for any value)")
 		timeout  = flag.Duration("timeout", 0, "abort the solve after this long, e.g. 90s or 10m (0 = no limit)")
 		ckptDir  = flag.String("checkpoint", "", "write durable solve checkpoints to this directory (one file per instance+seed)")
 		ckptN    = flag.Int("checkpoint-every", 1, "with -checkpoint: write one snapshot per this many write-back epochs")
@@ -61,6 +62,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	nWorkers, err := parseWorkers(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -75,7 +80,7 @@ func main() {
 		Mode:         *mode,
 		Restarts:     *restarts,
 		Parallel:     *parallel,
-		Workers:      *workers,
+		Workers:      nWorkers,
 	}
 	if *ckptDir != "" {
 		opt.Checkpoint = cimsa.Checkpoint{
@@ -162,6 +167,20 @@ func main() {
 		}
 		fmt.Printf("svg written   %s\n", *svgOut)
 	}
+}
+
+// parseWorkers maps the -workers flag onto Options.Workers: "auto"
+// becomes the WorkersAuto sentinel, anything else must be a
+// non-negative count.
+func parseWorkers(s string) (int, error) {
+	if s == "auto" {
+		return cimsa.WorkersAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("-workers must be a non-negative count or \"auto\", got %q", s)
+	}
+	return n, nil
 }
 
 func loadInstance(name, file string, random int, seed uint64) (*cimsa.Instance, error) {

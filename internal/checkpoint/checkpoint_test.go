@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -280,5 +281,38 @@ func TestDefaultPathSanitizes(t *testing.T) {
 	}
 	if !strings.HasSuffix(base, "-n40-s3.ckpt") {
 		t.Fatalf("path %q lacks the n/seed suffix", p)
+	}
+}
+
+// Paper-scale solves (85,900 cities x hundreds of levels x restarts)
+// push the swap counters past 32 bits. The wire format was always u64;
+// this pins that overflow-scale int64 Stats survive the round trip
+// undamaged — a regression test for the int(...) narrowing the decoder
+// used to apply to Proposed/Accepted/WriteBacks.
+func TestRoundTripOverflowScaleStats(t *testing.T) {
+	in := testInstance()
+	s := testSnapshot(in)
+	big := clustered.Stats{
+		Levels:               300,
+		BottomWindows:        28634,
+		Iterations:           48_000_000,
+		Proposed:             math.MaxInt32 + int64(12345),
+		Accepted:             math.MaxInt32 + int64(777),
+		WriteBacks:           math.MaxInt32 + int64(9),
+		Cycles:               1 << 40,
+		WeightWrites:         1 << 41,
+		BoundaryTransferBits: 1 << 42,
+	}
+	s.AggStats = big
+	s.Solver.Stats = big
+	got, err := Decode(bytes.NewReader(encodeBytes(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AggStats != big {
+		t.Fatalf("aggregate stats changed:\n got %+v\nwant %+v", got.AggStats, big)
+	}
+	if got.Solver.Stats != big {
+		t.Fatalf("solver stats changed:\n got %+v\nwant %+v", got.Solver.Stats, big)
 	}
 }

@@ -213,9 +213,9 @@ func (d *decoder) stats() clustered.Stats {
 	s.Levels = d.intStat("stats levels")
 	s.BottomWindows = d.intStat("stats bottom windows")
 	s.Iterations = d.intStat("stats iterations")
-	s.Proposed = d.intStat("stats proposed")
-	s.Accepted = d.intStat("stats accepted")
-	s.WriteBacks = d.intStat("stats write-backs")
+	s.Proposed = int64(d.u64n(math.MaxInt64, "stats proposed"))
+	s.Accepted = int64(d.u64n(math.MaxInt64, "stats accepted"))
+	s.WriteBacks = int64(d.u64n(math.MaxInt64, "stats write-backs"))
 	s.Cycles = int64(d.u64n(math.MaxInt64, "stats cycles"))
 	s.WeightWrites = int64(d.u64n(math.MaxInt64, "stats weight writes"))
 	s.BoundaryTransferBits = int64(d.u64n(math.MaxInt64, "stats boundary bits"))

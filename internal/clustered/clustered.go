@@ -99,9 +99,14 @@ type Options struct {
 	// (seed, level, iteration, cluster) counters, not from a shared
 	// stream.
 	Parallel bool
-	// Workers sets the worker-pool size explicitly. 0 picks GOMAXPROCS
-	// when Parallel is set (and 1 otherwise); 1 forces fully inline
-	// execution. Any value produces bit-identical results.
+	// Workers sets the worker-pool size: > 0 fixes it explicitly (1
+	// forces fully inline execution), 0 picks GOMAXPROCS when Parallel
+	// is set and 1 otherwise, and WorkersAuto (-1) resolves it from the
+	// instance size and GOMAXPROCS — sequential for small instances,
+	// pooled for paper-scale ones. Whatever the pool size, each phase
+	// only engages as many workers as it has cursor grabs for, so upper
+	// hierarchy levels run inline even on a wide pool. Every value
+	// produces bit-identical results.
 	Workers int
 	// WeightBits truncates stored weights to this many significant bits
 	// (1-8); 0 or 8 keeps full precision. Precision ablation for the
@@ -178,10 +183,13 @@ type Stats struct {
 	BottomWindows int
 	// Iterations is the total update iterations summed over levels.
 	Iterations int
-	// Proposed and Accepted count swap trials.
-	Proposed, Accepted int
+	// Proposed and Accepted count swap trials. Like every other work
+	// counter they are int64: paper-scale instances with restarts push
+	// proposal counts past 32-bit range, and the counters round-trip
+	// through checkpoints as 64-bit fields.
+	Proposed, Accepted int64
 	// WriteBacks counts weight write-back epochs summed over windows.
-	WriteBacks int
+	WriteBacks int64
 	// Cycles is the modelled hardware cycle count: iterations per level
 	// × cycles per iteration (all clusters of a phase update in
 	// parallel, so cluster count does not appear).
@@ -291,7 +299,7 @@ func SolveContext(ctx context.Context, in *tsplib.Instance, opt Options) (Result
 	// Anneal each level below the top on one persistent worker pool:
 	// workers outlive levels, phases and iterations, so the per-phase
 	// cost is a dispatch, not a goroutine spawn.
-	ex := newExecutor(o)
+	ex := newExecutor(o, in.N())
 	defer ex.close()
 	if sn != nil {
 		sn.ex = ex
@@ -437,7 +445,10 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 		}
 	}
 
-	phases := ex.phasesFor(nc)
+	// Fuse the level's dispatch plan once: chromatic phases, grab sizes
+	// and fan-outs are all resolved here (and retuned at write-back
+	// epochs), so the iteration loop below does no dispatch setup work.
+	ex.planLevel(nc)
 	iters := o.Schedule.TotalIters()
 	temp := metropolisTemp(state)
 	transfersPerIter := boundaryTransfersPerIter(state)
@@ -513,7 +524,10 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 				// refresh clean even if the technology point changes.
 				job.vdd, job.nLSB = device.NominalVDD, 0
 			}
-			ex.dispatch(job, nc)
+			ex.runStep(job, &ex.plan.refresh)
+			// Epoch boundary: fold the freshly measured per-item costs
+			// back into the plan's grab/fan sizing (never into results).
+			ex.retune()
 			emit(iter)
 		}
 		tFrac := 1 - float64(iter)/float64(iters)
@@ -524,7 +538,7 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 		if o.Mode == ModeNoisySpins {
 			job.vulnProb = o.Fabric.VulnProb(vdd)
 		}
-		for _, phase := range phases {
+		for si := range ex.plan.steps {
 			if sn == nil {
 				// With checkpointing enabled, cancellation waits for the
 				// next iteration boundary (where a flush is resumable)
@@ -533,8 +547,9 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 					return nil, nil, fmt.Errorf("clustered: level %d canceled: %w", level, err)
 				}
 			}
-			job.phase = phase
-			ex.dispatch(job, len(phase))
+			st := &ex.plan.steps[si]
+			job.phase = st.phase
+			ex.runStep(job, st)
 		}
 		stats.Cycles += int64(cim.CyclesPerIteration)
 		stats.BoundaryTransferBits += transfersPerIter
@@ -751,7 +766,9 @@ func corruptInputs(in cim.Inputs, f *noise.Fabric, ci int, vulnProb float64, cs 
 // chromaticPhases partitions cluster indices into phases of mutually
 // non-adjacent clusters in the cycle: odd, then even, with a third phase
 // for the final cluster when the count is odd (it would otherwise be
-// adjacent to cluster 0 in the even phase).
+// adjacent to cluster 0 in the even phase). Empty phases are never
+// emitted: small cluster counts (nc <= 2) produce fewer than three
+// phases rather than zero-length ones that would still be dispatched.
 func chromaticPhases(nc int) [][]int {
 	var odd, even, extra []int
 	for ci := 0; ci < nc; ci++ {
@@ -764,9 +781,11 @@ func chromaticPhases(nc int) [][]int {
 			even = append(even, ci)
 		}
 	}
-	phases := [][]int{odd, even}
-	if len(extra) > 0 {
-		phases = append(phases, extra)
+	var phases [][]int
+	for _, ph := range [][]int{odd, even, extra} {
+		if len(ph) > 0 {
+			phases = append(phases, ph)
+		}
 	}
 	return phases
 }

@@ -2,8 +2,8 @@ package clustered
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 
 	"cimsa/internal/geom"
 )
@@ -11,28 +11,74 @@ import (
 // The executor is the solve's persistent execution engine: a pool of
 // workers created once in Solve and reused by every phase of every
 // iteration of every level. The hardware updates all same-phase windows
-// in one cycle; the software analogue must not pay a goroutine spawn +
-// WaitGroup per phase (levels × iterations × phases of them per solve)
-// to mimic that. Workers park on a channel between phases and pull
-// cluster chunks off a shared atomic cursor, so a phase dispatch costs
-// one channel send per worker instead of a goroutine launch.
+// in one cycle; the software analogue must not pay a goroutine spawn or
+// even a channel send per phase (levels × iterations × phases of them
+// per solve) to mimic that. A phase hand-off is an epoch barrier:
+// workers watch an atomic phase counter, spin briefly when work is
+// imminent, and park on a per-worker slot otherwise, so dispatching a
+// phase costs a few atomic stores plus one wake per *engaged* parked
+// worker — and engaging is capped by how many cursor grabs the phase
+// actually has, so small phases run inline and never touch the pool.
 //
 // Determinism: proposals and accept uniforms are derived from
 // (seed, level, iteration, cluster) counters and same-phase clusters
 // are mutually non-adjacent, so the partition of a phase across workers
-// — and the order chunks are grabbed in — cannot change any result.
-// Stats are accumulated into per-worker shards and merged once per
-// level; every counter is a sum, so the merge is order-independent too.
+// — the grab size, the fan-out, and the order chunks are grabbed in —
+// cannot change any result. Stats are accumulated into per-worker
+// shards and merged once per level; every counter is a sum, so the
+// merge is order-independent too.
 
-// effectiveWorkers resolves the Workers/Parallel knobs to a pool size.
-func (o Options) effectiveWorkers() int {
-	if o.Workers > 0 {
+// WorkersAuto is the Options.Workers sentinel that lets the solver pick
+// the pool size itself from the instance size and GOMAXPROCS: small
+// instances run sequentially (their phases are too short to amortize
+// even one barrier hand-off), large ones get up to GOMAXPROCS workers.
+// Within a solve, the per-phase fan-out cap then decides per level how
+// much of that pool a dispatch actually engages, so upper hierarchy
+// levels of a big instance still run inline. Like every other worker
+// count, auto produces bit-identical results.
+const WorkersAuto = -1
+
+const (
+	// autoMinCities is the instance size below which WorkersAuto stays
+	// sequential: the leaf level of a smaller instance has so few
+	// clusters per chromatic phase that nearly every dispatch would run
+	// inline under the fan-out cap anyway.
+	autoMinCities = 2000
+	// autoCitiesPerWorker sizes the auto pool: one worker per this many
+	// cities, capped at GOMAXPROCS. The leaf level has ~n/3 clusters,
+	// so this gives each worker several hundred leaf updates per phase.
+	autoCitiesPerWorker = 2500
+)
+
+// effectiveWorkers resolves the Workers/Parallel knobs to a pool size
+// for an n-city instance.
+func (o Options) effectiveWorkers(n int) int {
+	switch {
+	case o.Workers == WorkersAuto:
+		return autoWorkers(n, runtime.GOMAXPROCS(0))
+	case o.Workers > 0:
 		return o.Workers
-	}
-	if o.Parallel {
+	case o.Parallel:
 		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
 	}
-	return 1
+}
+
+// autoWorkers picks the WorkersAuto pool size for an n-city instance on
+// a procs-wide runtime.
+func autoWorkers(n, procs int) int {
+	if procs < 2 || n < autoMinCities {
+		return 1
+	}
+	w := n / autoCitiesPerWorker
+	if w > procs {
+		w = procs
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
 }
 
 // statShard is one worker's private counters, padded to a cache line so
@@ -52,11 +98,13 @@ const (
 	// jobRefreshWindows runs the write-back + pseudo-read epoch over
 	// every cluster of job.state.
 	jobRefreshWindows
+	jobKinds
 )
 
 // poolJob describes one unit of fan-out work. A single job struct is
-// reused across dispatches (the dispatcher blocks until all workers
-// finish, so rewriting its fields between dispatches is race-free).
+// reused across dispatches (the dispatcher blocks until all engaged
+// workers finish, so rewriting its fields between dispatches is
+// race-free).
 type poolJob struct {
 	kind        jobKind
 	state       *levelState
@@ -73,15 +121,100 @@ type poolJob struct {
 	// the interrupted epoch's refresh to rebuild window state the
 	// restored Stats already paid for.
 	silent bool
+	// grab is the dispatch's cursor grab size (set per dispatch from the
+	// plan, shared by every engaged worker).
+	grab   int64
 	cursor atomic.Int64
-	wg     sync.WaitGroup
+}
+
+// parkSlot is one goroutine's parking spot in the barrier. A waiter
+// that exhausts its spin budget publishes parked=true, re-checks the
+// condition it is waiting on, and blocks on wake; a waker transfers a
+// token by winning the CAS from true back to false. The send is
+// non-blocking over a one-slot buffer: a CAS win guarantees either the
+// buffer is empty (the token lands) or a token is already waiting —
+// either way the blocked receive completes. Waiters always re-check
+// their condition after waking, so a stale token (a late waker from a
+// previous epoch) costs one extra loop, never correctness.
+type parkSlot struct {
+	parked atomic.Bool
+	wake   chan struct{}
+	// wakes counts delivered wake tokens — the price the barrier is
+	// designed to avoid paying; tests pin that idle workers never pay it.
+	wakes atomic.Int64
+}
+
+func newParkSlot() *parkSlot { return &parkSlot{wake: make(chan struct{}, 1)} }
+
+// wakeIfParked delivers one wake token iff the owner is parked.
+func (s *parkSlot) wakeIfParked() {
+	if s.parked.CompareAndSwap(true, false) {
+		s.wakes.Add(1)
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// spinWait bounds how many yield-and-recheck rounds a waiter spends
+// before parking. Every round yields the processor, so oversubscribed
+// configurations (more workers than cores) cannot starve the goroutine
+// that will advance the barrier state.
+const spinWait = 32
+
+// dispatchStep is one planned dispatch: a chromatic phase (or the
+// epoch's window sweep) with its grab size and worker fan-out
+// precomputed, so issuing it from the iteration loop does no sizing
+// arithmetic at all.
+type dispatchStep struct {
+	// phase is the cluster-index list for update steps; nil for the
+	// refresh step, which sweeps every cluster of the level.
+	phase []int
+	items int
+	grab  int64
+	// fan is how many background workers the dispatch engages: the
+	// number of cursor grabs beyond the dispatcher's own first one,
+	// capped at the pool size. 0 means the dispatcher runs the whole
+	// step inline and the pool is never touched.
+	fan int32
+}
+
+// levelPlan is the fused dispatch plan for one level: every dispatch
+// the iteration loop will issue, precomputed once per level and retuned
+// at write-back epochs as the measured per-item costs move.
+type levelPlan struct {
+	steps   []dispatchStep
+	refresh dispatchStep
 }
 
 type executor struct {
 	workers int
 	shards  []statShard
-	jobs    chan *poolJob
 	job     poolJob
+
+	// Barrier state. epoch advances once per pooled dispatch; fan is
+	// the engaged background-worker count for the current epoch;
+	// pending counts engaged workers still running. parks[w-1] is
+	// background worker w's slot; dpark is the dispatcher's completion
+	// wait. closed tells workers to exit.
+	epoch   atomic.Uint64
+	fan     atomic.Int32
+	pending atomic.Int32
+	closed  atomic.Bool
+	parks   []*parkSlot
+	dpark   *parkSlot
+
+	// run executes one worker's share of a job; it is runJob except in
+	// barrier tests, which substitute a counting stub.
+	run func(w int, job *poolJob)
+
+	// costNs is the measured per-item cost of each job kind (an EMA over
+	// first-chunk timings, worker 0 only, so no synchronization); plan
+	// is the level's fused dispatch plan derived from it.
+	costNs [jobKinds]float64
+	plan   levelPlan
+
 	// objPts backs levelObjective across iterations and levels.
 	objPts []geom.Point
 	// phases / phaseIdx back the chromatic phase lists across levels.
@@ -89,65 +222,146 @@ type executor struct {
 	phaseIdx []int
 }
 
-// newExecutor starts the solve's worker pool. Workers beyond the first
-// are background goroutines; the dispatching goroutine itself acts as
-// worker 0, so a pool of one runs everything inline with no
-// synchronization at all.
-func newExecutor(o Options) *executor {
-	n := o.effectiveWorkers()
-	ex := &executor{workers: n, shards: make([]statShard, n)}
-	if n > 1 {
-		ex.jobs = make(chan *poolJob, n-1)
-		for w := 1; w < n; w++ {
-			go ex.workerLoop(w)
+// newExecutor starts the solve's worker pool for an n-city instance.
+// Workers beyond the first are background goroutines; the dispatching
+// goroutine itself acts as worker 0, so a pool of one runs everything
+// inline with no synchronization at all.
+func newExecutor(o Options, n int) *executor {
+	w := o.effectiveWorkers(n)
+	ex := &executor{workers: w, shards: make([]statShard, w)}
+	ex.run = ex.runJob
+	ex.costNs[jobUpdatePhase] = defaultUpdateCostNs
+	ex.costNs[jobRefreshWindows] = defaultRefreshCostNs
+	if w > 1 {
+		ex.dpark = newParkSlot()
+		ex.parks = make([]*parkSlot, w-1)
+		for i := range ex.parks {
+			ex.parks[i] = newParkSlot()
+		}
+		for i := range ex.parks {
+			go ex.workerLoop(i + 1)
 		}
 	}
 	return ex
 }
 
 // close releases the background workers. The executor must not be used
-// afterwards.
+// afterwards. closed is published before the epoch bump, so any worker
+// that observes the new epoch also observes the shutdown.
 func (ex *executor) close() {
-	if ex.jobs != nil {
-		close(ex.jobs)
-	}
-}
-
-func (ex *executor) workerLoop(w int) {
-	for job := range ex.jobs {
-		ex.runJob(w, job)
-		job.wg.Done()
-	}
-}
-
-// dispatch fans the prepared job out across the pool and blocks until
-// every item is processed. items is the job's total work-item count;
-// when one cursor grab would cover it anyway, the caller runs the job
-// inline and the background workers are never woken.
-func (ex *executor) dispatch(job *poolJob, items int) {
-	job.cursor.Store(0)
-	if ex.workers == 1 || items <= int(job.grabSize(ex.workers, items)) {
-		ex.runJob(0, job)
+	if len(ex.parks) == 0 {
 		return
 	}
-	job.wg.Add(ex.workers - 1)
-	for w := 1; w < ex.workers; w++ {
-		ex.jobs <- job
+	ex.closed.Store(true)
+	ex.fan.Store(0)
+	ex.epoch.Add(1)
+	for _, s := range ex.parks {
+		s.wakeIfParked()
 	}
-	ex.runJob(0, job)
-	job.wg.Wait()
 }
 
-// grabSize picks how many items a worker claims per cursor grab:
-// coarse enough that the atomic add is noise, fine enough that the last
-// chunks still balance across the pool.
-func (job *poolJob) grabSize(workers, items int) int64 {
-	grab := items / (4 * workers)
-	lo, hi := 8, 64
-	if job.kind == jobRefreshWindows {
+// workerLoop is one background worker: wait for the epoch to advance,
+// run a share of the job if engaged, repeat. A worker the dispatch did
+// not engage pays two atomic loads for the epoch — not a scheduler
+// wake-up — and goes straight back to waiting.
+func (ex *executor) workerLoop(w int) {
+	slot := ex.parks[w-1]
+	var seen uint64
+	for {
+		e := ex.epoch.Load()
+		if ex.closed.Load() {
+			return
+		}
+		if e == seen {
+			ex.waitEpoch(slot, seen)
+			continue
+		}
+		seen = e
+		if int32(w) <= ex.fan.Load() {
+			ex.run(w, &ex.job)
+			if ex.pending.Add(-1) == 0 {
+				ex.dpark.wakeIfParked()
+			}
+		}
+	}
+}
+
+// waitEpoch blocks worker w until the epoch moves past seen: a bounded
+// yield-and-recheck spin (phases arrive back to back mid-level), then a
+// park on the worker's slot. The parked flag is published before the
+// final epoch re-check, and the dispatcher bumps the epoch before
+// scanning parked flags, so one side always observes the other
+// (standard Dekker ordering under Go's sequentially consistent
+// atomics); a missed-wake sleep cannot happen.
+func (ex *executor) waitEpoch(slot *parkSlot, seen uint64) {
+	for i := 0; i < spinWait; i++ {
+		if ex.epoch.Load() != seen {
+			return
+		}
+		runtime.Gosched()
+	}
+	slot.parked.Store(true)
+	if ex.epoch.Load() != seen || ex.closed.Load() {
+		// Advanced while parking: retract the park, or — if a waker
+		// already won the CAS — consume the token it guaranteed.
+		if !slot.parked.CompareAndSwap(true, false) {
+			<-slot.wake
+		}
+		return
+	}
+	<-slot.wake
+}
+
+// awaitPending blocks the dispatcher until every engaged worker has
+// finished the current epoch. Completion tokens can be stale — a worker
+// that ended a *previous* epoch may deliver its wake arbitrarily late —
+// so the loop re-checks pending after every wake; the authoritative
+// state is the counter, the token is only a kick.
+func (ex *executor) awaitPending() {
+	for {
+		for i := 0; i < spinWait; i++ {
+			if ex.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+		}
+		ex.dpark.parked.Store(true)
+		if ex.pending.Load() == 0 {
+			if !ex.dpark.parked.CompareAndSwap(true, false) {
+				<-ex.dpark.wake
+			}
+			return
+		}
+		<-ex.dpark.wake
+	}
+}
+
+const (
+	// grabTargetNs is the work one cursor grab should cover: coarse
+	// enough that the atomic cursor add — and, worst case, the one-time
+	// barrier wake — is noise, fine enough that the tail of a phase
+	// still balances across the pool.
+	grabTargetNs = 16384
+	// Cost seeds before the first measurement, set from the benchmarked
+	// per-item costs of the reference hardware; only a solve's first
+	// dispatches run on them, every later one uses the measured EMA.
+	defaultUpdateCostNs  = 300
+	defaultRefreshCostNs = 3000
+)
+
+// grabFor converts the measured per-item cost of a job kind into a
+// cursor grab size covering ~grabTargetNs of work.
+func (ex *executor) grabFor(kind jobKind) int64 {
+	cost := ex.costNs[kind]
+	if cost < 1 {
+		cost = 1
+	}
+	grab := int64(grabTargetNs / cost)
+	var lo, hi int64 = 4, 512
+	if kind == jobRefreshWindows {
 		// A window refresh sweeps rows×cols cells; items are much
 		// heavier than a cluster update.
-		lo, hi = 2, 16
+		lo, hi = 1, 64
 	}
 	if grab < lo {
 		grab = lo
@@ -155,52 +369,140 @@ func (job *poolJob) grabSize(workers, items int) int64 {
 	if grab > hi {
 		grab = hi
 	}
-	return int64(grab)
+	return grab
+}
+
+// observeCost folds one measured chunk into the per-item cost EMA. Only
+// worker 0 measures (and only its first chunk per dispatch), so the
+// estimate needs no synchronization; the 1/4 gain is stable against
+// scheduler noise yet adapts within one write-back epoch.
+func (ex *executor) observeCost(kind jobKind, d time.Duration, items int64) {
+	if items <= 0 {
+		return
+	}
+	sample := float64(d.Nanoseconds()) / float64(items)
+	ex.costNs[kind] = ex.costNs[kind]*0.75 + sample*0.25
+}
+
+// planLevel builds the level's fused dispatch plan: the chromatic
+// phases plus the refresh sweep, each with grab and fan-out resolved.
+// The iteration loop then issues steps with no per-phase setup work.
+func (ex *executor) planLevel(nc int) {
+	phases := ex.phasesFor(nc)
+	steps := ex.plan.steps[:0]
+	for _, ph := range phases {
+		steps = append(steps, dispatchStep{phase: ph, items: len(ph)})
+	}
+	ex.plan.steps = steps
+	ex.plan.refresh = dispatchStep{items: nc}
+	ex.retune()
+}
+
+// retune refreshes every planned step's grab and fan-out from the
+// current cost estimates. It runs at write-back epoch boundaries —
+// where one division per phase is noise — so the per-phase hand-off in
+// the iteration loop does none.
+func (ex *executor) retune() {
+	for i := range ex.plan.steps {
+		ex.tuneStep(&ex.plan.steps[i], jobUpdatePhase)
+	}
+	ex.tuneStep(&ex.plan.refresh, jobRefreshWindows)
+}
+
+// tuneStep sizes one dispatch: the grab from the measured per-item
+// cost, and the fan-out capped at the number of grabs actually
+// available beyond the dispatcher's own first one — waking a worker a
+// phase has no grab for buys nothing and costs a park/unpark round
+// trip.
+func (ex *executor) tuneStep(st *dispatchStep, kind jobKind) {
+	st.grab = ex.grabFor(kind)
+	st.fan = 0
+	if ex.workers > 1 && int64(st.items) > st.grab {
+		f := (st.items+int(st.grab)-1)/int(st.grab) - 1
+		if f > ex.workers-1 {
+			f = ex.workers - 1
+		}
+		st.fan = int32(f)
+	}
+}
+
+// runStep executes one planned dispatch and blocks until every item is
+// processed. Steps with no fan-out run entirely on the dispatching
+// goroutine: no atomics beyond the cursor, no barrier traffic.
+func (ex *executor) runStep(job *poolJob, st *dispatchStep) {
+	job.grab = st.grab
+	job.cursor.Store(0)
+	if st.fan == 0 {
+		ex.run(0, job)
+		return
+	}
+	ex.pending.Store(st.fan)
+	ex.fan.Store(st.fan)
+	ex.epoch.Add(1)
+	for i := int32(0); i < st.fan; i++ {
+		ex.parks[i].wakeIfParked()
+	}
+	ex.run(0, job)
+	ex.awaitPending()
+}
+
+// dispatch sizes and runs an ad-hoc job outside the level plan (the
+// resume path's window rebuild); planned dispatches go through runStep.
+func (ex *executor) dispatch(job *poolJob, items int) {
+	st := dispatchStep{phase: job.phase, items: items}
+	ex.tuneStep(&st, job.kind)
+	ex.runStep(job, &st)
 }
 
 // runJob processes chunks of the job until the cursor is exhausted,
-// accumulating counters into worker w's shard.
+// accumulating counters into worker w's shard. Worker 0 times its
+// first chunk to keep the per-item cost estimate current.
 func (ex *executor) runJob(w int, job *poolJob) {
 	sh := &ex.shards[w]
+	grab := job.grab
+	if grab < 1 {
+		grab = 1
+	}
+	measure := w == 0
+	var n int64
 	switch job.kind {
 	case jobUpdatePhase:
-		n := int64(len(job.phase))
-		grab := job.grabSize(ex.workers, len(job.phase))
-		for {
-			end := job.cursor.Add(grab)
-			start := end - grab
-			if start >= n {
-				return
-			}
-			if end > n {
-				end = n
-			}
+		n = int64(len(job.phase))
+	case jobRefreshWindows:
+		n = int64(len(job.state.clusters))
+	}
+	for {
+		end := job.cursor.Add(grab)
+		start := end - grab
+		if start >= n {
+			return
+		}
+		if end > n {
+			end = n
+		}
+		var t0 time.Time
+		if measure {
+			t0 = time.Now()
+		}
+		switch job.kind {
+		case jobUpdatePhase:
 			for _, ci := range job.phase[start:end] {
 				prop, acc := updateCluster(job.state, ci, job.level, job.iter, job.opt, job.vdd, job.vulnProb, job.temp)
 				sh.proposed += int64(prop)
 				sh.accepted += int64(acc)
 			}
-		}
-	case jobRefreshWindows:
-		clusters := job.state.clusters
-		n := int64(len(clusters))
-		grab := job.grabSize(ex.workers, len(clusters))
-		for {
-			end := job.cursor.Add(grab)
-			start := end - grab
-			if start >= n {
-				return
-			}
-			if end > n {
-				end = n
-			}
-			for _, cs := range clusters[start:end] {
+		case jobRefreshWindows:
+			for _, cs := range job.state.clusters[start:end] {
 				cs.window.WriteBack(job.opt.Fabric, job.vdd, job.nLSB)
 				if !job.silent {
 					sh.writeBacks++
 					sh.weightWrites += int64(cs.window.Rows() * cs.window.Cols())
 				}
 			}
+		}
+		if measure {
+			measure = false
+			ex.observeCost(job.kind, time.Since(t0), end-start)
 		}
 	}
 }
@@ -210,9 +512,9 @@ func (ex *executor) runJob(w int, job *poolJob) {
 func (ex *executor) mergeShards(stats *Stats) {
 	for i := range ex.shards {
 		sh := &ex.shards[i]
-		stats.Proposed += int(sh.proposed)
-		stats.Accepted += int(sh.accepted)
-		stats.WriteBacks += int(sh.writeBacks)
+		stats.Proposed += sh.proposed
+		stats.Accepted += sh.accepted
+		stats.WriteBacks += sh.writeBacks
 		stats.WeightWrites += sh.weightWrites
 		*sh = statShard{}
 	}
@@ -220,7 +522,8 @@ func (ex *executor) mergeShards(stats *Stats) {
 
 // phasesFor returns the chromatic phases for nc clusters, reusing the
 // executor's backing storage across levels. The contents are identical
-// to chromaticPhases(nc).
+// to chromaticPhases(nc); empty phases are never emitted (nc <= 2
+// produces fewer than the usual odd/even/extra three).
 func (ex *executor) phasesFor(nc int) [][]int {
 	if cap(ex.phaseIdx) < nc {
 		ex.phaseIdx = make([]int, 0, nc)
@@ -245,7 +548,13 @@ func (ex *executor) phasesFor(nc int) [][]int {
 		idx = append(idx, nc-1)
 	}
 	ex.phaseIdx = idx
-	phases := append(ex.phases[:0], idx[:oddEnd], idx[oddEnd:evenEnd])
+	phases := ex.phases[:0]
+	if oddEnd > 0 {
+		phases = append(phases, idx[:oddEnd])
+	}
+	if evenEnd > oddEnd {
+		phases = append(phases, idx[oddEnd:evenEnd])
+	}
 	if hasExtra {
 		phases = append(phases, idx[evenEnd:])
 	}

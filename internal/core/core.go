@@ -40,9 +40,10 @@ type Config struct {
 	SkipHardwareReport bool
 	// Parallel enables worker-pool-parallel chromatic phase updates.
 	Parallel bool
-	// Workers sets the solver's worker-pool size explicitly; 0 picks
-	// GOMAXPROCS when Parallel is set. Results are bit-identical for
-	// every value.
+	// Workers sets the solver's worker-pool size: > 0 explicit, 0 picks
+	// GOMAXPROCS when Parallel is set, clustered.WorkersAuto (-1)
+	// resolves per solve from the instance size and GOMAXPROCS. Results
+	// are bit-identical for every value.
 	Workers int
 	// Restarts runs that many independent replicas (distinct proposal
 	// seeds and noise fabrics) and keeps the best tour — the software

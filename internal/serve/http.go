@@ -72,14 +72,19 @@ type GenerateSpec struct {
 
 // OptionsSpec mirrors cimsa.Options for the wire.
 type OptionsSpec struct {
-	PMax         int    `json:"pmax,omitempty"`
-	Seed         uint64 `json:"seed,omitempty"`
-	Mode         string `json:"mode,omitempty"`
-	Restarts     int    `json:"restarts,omitempty"`
-	Parallel     bool   `json:"parallel,omitempty"`
-	Workers      int    `json:"workers,omitempty"`
-	Reference    bool   `json:"reference,omitempty"`
-	SkipHardware bool   `json:"skip_hardware,omitempty"`
+	PMax     int    `json:"pmax,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Mode     string `json:"mode,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+	Parallel bool   `json:"parallel,omitempty"`
+	// Workers follows cimsa.Options.Workers: a count, 0 (GOMAXPROCS
+	// with parallel), or -1 for auto — the right setting for a service
+	// fielding mixed job sizes, since each solve picks sequential or
+	// pooled for itself. Any other negative value is rejected by
+	// validation.
+	Workers      int  `json:"workers,omitempty"`
+	Reference    bool `json:"reference,omitempty"`
+	SkipHardware bool `json:"skip_hardware,omitempty"`
 }
 
 func (o OptionsSpec) toOptions() cimsa.Options {

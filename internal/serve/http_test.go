@@ -250,9 +250,9 @@ func TestServiceErrorMapping(t *testing.T) {
 		`{"name":"no-such-instance"}`,        // unknown registry name
 		`{"generate":{"n":2}}`,               // too small to solve
 		`{"tsplib":"TYPE : TSP\ngarbage\n"}`, // unparseable TSPLIB
-		`{"generate":{"n":100},"options":{"pmax":77}}`,   // invalid options
-		`{"generate":{"n":100},"options":{"mode":"x"}}`,  // unknown mode
-		`{"generate":{"n":100},"options":{"workers":-1}}`, // negative workers
+		`{"generate":{"n":100},"options":{"pmax":77}}`,    // invalid options
+		`{"generate":{"n":100},"options":{"mode":"x"}}`,   // unknown mode
+		`{"generate":{"n":100},"options":{"workers":-2}}`, // negative workers (-1 is auto)
 	}
 	for _, body := range badBodies {
 		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
@@ -263,6 +263,17 @@ func TestServiceErrorMapping(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %s returned %d, want 400", body, resp.StatusCode)
 		}
+	}
+
+	// workers:-1 is the auto sentinel, not an invalid count: it must
+	// map straight through to cimsa.WorkersAuto and validate clean.
+	autoOpts := OptionsSpec{Workers: -1}.toOptions()
+	if autoOpts.Workers != cimsa.WorkersAuto {
+		t.Errorf("OptionsSpec{Workers: -1} mapped to %d, want cimsa.WorkersAuto (%d)",
+			autoOpts.Workers, cimsa.WorkersAuto)
+	}
+	if err := autoOpts.Validate(); err != nil {
+		t.Errorf("workers:-1 (auto) rejected by validation: %v", err)
 	}
 
 	// The per-server MaxN cap applies to generated sizes.

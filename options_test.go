@@ -21,7 +21,7 @@ func TestOptionsValidateRejections(t *testing.T) {
 		{"pmax below range", cimsa.Options{PMax: 1}, "PMax"},
 		{"pmax above range", cimsa.Options{PMax: 9}, "PMax"},
 		{"pmax negative", cimsa.Options{PMax: -3}, "PMax"},
-		{"negative workers", cimsa.Options{Workers: -1}, "Workers"},
+		{"negative workers", cimsa.Options{Workers: -2}, "Workers"},
 		{"negative restarts", cimsa.Options{Restarts: -2}, "Restarts"},
 		{"unknown mode", cimsa.Options{Mode: "quantum"}, "Mode"},
 	}
@@ -51,6 +51,8 @@ func TestOptionsValidateAccepts(t *testing.T) {
 		{PMax: 2},
 		{PMax: 8, Workers: 4, Restarts: 3, Mode: "metropolis"},
 		{Mode: "noisy-spins", Parallel: true},
+		{Workers: cimsa.WorkersAuto},
+		{Workers: cimsa.WorkersAuto, Parallel: true},
 	} {
 		if err := opt.Validate(); err != nil {
 			t.Errorf("valid options %+v rejected: %v", opt, err)
