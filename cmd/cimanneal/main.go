@@ -8,6 +8,13 @@
 //	cimanneal -file problem.tsp             # TSPLIB95 file
 //	cimanneal -random 5000                  # synthetic uniform instance
 //	cimanneal -name rl5915 -pmax 4 -seed 7 -tour out.txt
+//
+// Other problem types run as subcommands through the same registry
+// adapters the cimserve service uses:
+//
+//	cimanneal maxcut -n 512 -density 0.05 -sweeps 400
+//	cimanneal ising -n 64 -density 0.5 -algorithm sca
+//	cimanneal qubo -n 32 -density 0.3 -seed 7
 package main
 
 import (
@@ -28,6 +35,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cimanneal: ")
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "maxcut", "ising", "qubo":
+			runProblem(os.Args[1], os.Args[2:])
+			return
+		}
+	}
+	runTSP()
+}
+
+func runTSP() {
 	var (
 		name     = flag.String("name", "", "built-in instance name (see -list)")
 		file     = flag.String("file", "", "TSPLIB95 .tsp file to solve")

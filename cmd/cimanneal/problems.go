@@ -1,0 +1,114 @@
+// Non-TSP subcommands. "cimanneal maxcut|ising|qubo" builds the task
+// through the same problem-registry adapters the cimserve service uses,
+// so the CLI and the service share one parse → validate → solve path
+// and produce bit-identical results for the same spec and seed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"cimsa/internal/maxcut"
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/isingprob"
+	"cimsa/internal/problem/maxcutprob"
+)
+
+func runProblem(name string, args []string) {
+	fs := flag.NewFlagSet("cimanneal "+name, flag.ExitOnError)
+	var (
+		n         = fs.Int("n", 512, "size of the generated instance (vertices / spins / variables)")
+		density   = fs.Float64("density", 0.05, "edge or coupling density of the generated instance")
+		instSeed  = fs.Uint64("instance-seed", 1, "seed for instance generation")
+		sweeps    = fs.Int("sweeps", 0, "sweep/step budget (0 = the problem's default)")
+		seed      = fs.Uint64("seed", 1, "annealing seed")
+		algorithm = fs.String("algorithm", "", `ising/qubo backend: "metropolis" (default) or "sca"`)
+		timeout   = fs.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
+	)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		log.Fatalf("unexpected argument %q after %s flags", fs.Arg(0), name)
+	}
+
+	task, err := buildGeneratedTask(name, *n, *density, *instSeed, *sweeps, *seed, *algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := task.Solve(ctx, problem.Run{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printProblemResult(res, time.Since(start))
+}
+
+// buildGeneratedTask maps the shared subcommand flags onto the
+// problem's generate spec.
+func buildGeneratedTask(name string, n int, density float64, instSeed uint64, sweeps int, seed uint64, algorithm string) (problem.Task, error) {
+	if algorithm != "" && name == "maxcut" {
+		return nil, fmt.Errorf("-algorithm applies to ising/qubo only")
+	}
+	switch name {
+	case "maxcut":
+		return maxcutprob.TaskFromSpec(&maxcutprob.Spec{
+			Generate: &maxcutprob.GenerateSpec{N: n, Density: density, Seed: instSeed},
+			Sweeps:   sweeps,
+			Seed:     seed,
+		}, problem.Limits{})
+	case "ising":
+		return isingprob.TaskFromSpec(&isingprob.Spec{
+			Generate:  &isingprob.GenerateSpec{N: n, Density: density, Seed: instSeed},
+			Algorithm: algorithm,
+			Sweeps:    sweeps,
+			Seed:      seed,
+		}, problem.Limits{})
+	case "qubo":
+		return isingprob.QUBOTaskFromSpec(&isingprob.QUBOSpec{
+			Generate:  &isingprob.GenerateSpec{N: n, Density: density, Seed: instSeed},
+			Algorithm: algorithm,
+			Sweeps:    sweeps,
+			Seed:      seed,
+		}, problem.Limits{})
+	default:
+		return nil, fmt.Errorf("unknown problem %q", name)
+	}
+}
+
+func printProblemResult(res *problem.Result, elapsed time.Duration) {
+	fmt.Printf("problem       %s\n", res.Problem)
+	fmt.Printf("instance      %s (size %d)\n", res.Instance, res.N)
+	fmt.Printf("objective     %.4f\n", res.Objective)
+	fmt.Printf("iterations    %d in %v\n", res.Iterations, elapsed.Round(time.Millisecond))
+	switch det := res.Detail.(type) {
+	case maxcut.Result:
+		left := 0
+		for _, s := range det.Assign {
+			if s > 0 {
+				left++
+			}
+		}
+		fmt.Printf("cut           %.0f (%.1f%% of total weight), partition %d / %d\n",
+			det.Cut, 100*det.Ratio, left, len(det.Assign)-left)
+	case isingprob.IsingDetail:
+		fmt.Printf("energy        %.4f (best seen %.4f)\n", det.Energy, det.BestEnergy)
+		if det.Proposed > 0 {
+			fmt.Printf("acceptance    %d/%d flips\n", det.Accepted, det.Proposed)
+		}
+	case isingprob.QUBODetail:
+		on := 0
+		for _, b := range det.Bits {
+			on += int(b)
+		}
+		fmt.Printf("assignment    %d of %d bits set, ising energy %.4f\n",
+			on, len(det.Bits), det.Energy)
+	}
+}

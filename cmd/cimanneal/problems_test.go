@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"cimsa/internal/maxcut"
+	"cimsa/internal/problem"
+)
+
+func solveGenerated(t *testing.T, name string, n int, density float64, instSeed uint64, sweeps int, seed uint64, algorithm string) *problem.Result {
+	t.Helper()
+	task, err := buildGeneratedTask(name, n, density, instSeed, sweeps, seed, algorithm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := task.Solve(context.Background(), problem.Run{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The subcommand path must be the registry path: the maxcut subcommand
+// with given flags solves to exactly what the library produces.
+func TestMaxCutSubcommandMatchesDirectSolve(t *testing.T) {
+	res := solveGenerated(t, "maxcut", 64, 0.25, 9, 150, 4, "")
+	direct, err := maxcut.Solve(maxcut.Random(64, 0.25, 9), 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != direct.Cut {
+		t.Fatalf("subcommand cut %v != direct %v", res.Objective, direct.Cut)
+	}
+}
+
+func TestIsingQUBOSubcommandsDeterministic(t *testing.T) {
+	a := solveGenerated(t, "ising", 32, 0.5, 3, 40, 2, "")
+	b := solveGenerated(t, "ising", 32, 0.5, 3, 40, 2, "")
+	if a.Objective != b.Objective {
+		t.Fatalf("ising subcommand not deterministic: %v vs %v", a.Objective, b.Objective)
+	}
+	q := solveGenerated(t, "qubo", 16, 0.4, 5, 30, 7, "sca")
+	if q.Problem != "qubo" || q.N != 16 {
+		t.Fatalf("qubo subcommand result %+v", q)
+	}
+}
+
+func TestSubcommandFlagValidation(t *testing.T) {
+	if _, err := buildGeneratedTask("maxcut", 16, 0.5, 1, 0, 1, "sca"); err == nil {
+		t.Fatal("maxcut accepted -algorithm")
+	}
+	if _, err := buildGeneratedTask("vertexcover", 16, 0.5, 1, 0, 1, ""); err == nil {
+		t.Fatal("unknown subcommand problem accepted")
+	}
+	if _, err := buildGeneratedTask("ising", 16, 0.5, 1, 0, 1, "bogus"); err == nil {
+		t.Fatal("bogus ising algorithm accepted")
+	}
+}

@@ -1,17 +1,24 @@
-// Command cimserve exposes the clustered noisy-CIM annealer as a
-// long-lived HTTP job service: clients submit TSP solves, poll or
-// stream progress, cancel runs, and scrape service metrics — many
-// clients multiplexed onto a bounded pool of solver slots, the way the
-// paper's chip time-multiplexes cluster windows onto one CIM array.
+// Command cimserve exposes the repository's solvers as a long-lived
+// HTTP job service: clients submit solve jobs — TSP via the clustered
+// noisy-CIM annealer, plus maxcut / ising / qubo on the generic spin
+// substrate — poll or stream progress, cancel runs, and scrape service
+// metrics. Many clients are multiplexed onto a bounded pool of solver
+// slots, the way the paper's chip time-multiplexes cluster windows
+// onto one CIM array.
 //
 // Usage:
 //
 //	cimserve -addr :8080 -concurrency 4 -queue 128 -ttl 15m
 //
-// Submit a job:
+// Submit a TSP job (legacy top-level schema, still accepted):
 //
 //	curl -s localhost:8080/v1/jobs -d '{"generate":{"name":"pcb-like","n":10000,"seed":7},
 //	  "options":{"pmax":3,"seed":1,"parallel":true,"skip_hardware":true}}'
+//
+// Submit a Max-Cut job (problem-section schema):
+//
+//	curl -s localhost:8080/v1/jobs -d '{"maxcut":{"generate":{"n":512,"density":0.05,"seed":13},
+//	  "sweeps":400,"seed":1}}'
 //
 // Stream its progress (SSE):
 //
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"cimsa/internal/problem"
 	"cimsa/internal/serve"
 )
 
@@ -41,7 +49,10 @@ func main() {
 		queue       = flag.Int("queue", 64, "wait-queue depth; beyond it submissions get 429")
 		ttl         = flag.Duration("ttl", 15*time.Minute, "how long finished results stay fetchable")
 		replay      = flag.Int("replay", 512, "per-job SSE replay buffer (events kept for reconnects)")
-		maxN        = flag.Int("max-n", 200000, "largest instance (cities) accepted; 0 = unlimited")
+		maxN        = flag.Int("max-n", 200000, "largest tsp instance (cities) accepted; 0 = unlimited")
+		maxVertices = flag.Int("max-vertices", 100000, "largest maxcut graph (vertices) accepted; 0 = unlimited")
+		maxEdges    = flag.Int("max-edges", 2000000, "largest maxcut graph (edges) accepted; 0 = unlimited")
+		maxSpins    = flag.Int("max-spins", 2048, "largest ising/qubo system (spins) accepted — the dense coupling matrix is spins²; 0 = unlimited")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before solves are cancelled")
 		stateDir    = flag.String("state-dir", "", "persist jobs and solver checkpoints here; on boot, interrupted jobs are re-enqueued and resume mid-solve")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "with -state-dir: write one solver snapshot per this many write-back epochs")
@@ -69,7 +80,12 @@ func main() {
 	}
 	sched := serve.NewScheduler(cfg)
 	srv := serve.NewServer(sched)
-	srv.MaxN = *maxN
+	srv.Limits = problem.Limits{
+		MaxCities:   *maxN,
+		MaxVertices: *maxVertices,
+		MaxEdges:    *maxEdges,
+		MaxSpins:    *maxSpins,
+	}
 	if len(recovered) > 0 {
 		log.Printf("recovering %d interrupted job(s) from %s", len(recovered), *stateDir)
 		n := srv.Recover(recovered)

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"cimsa/internal/ising"
@@ -44,11 +45,24 @@ func (o *Options) withDefaults() Options {
 // model, mutating spins in place, and returns the run summary. The final
 // spin state is the last accepted state (not necessarily the best).
 func Ising(m *ising.Model, spins []int8, opts Options) Result {
+	res, _ := IsingContext(context.Background(), m, spins, opts)
+	return res
+}
+
+// IsingContext is Ising with cooperative cancellation. The context is
+// checked only at sweep boundaries and the check consumes no
+// randomness, so a run whose context is never cancelled is
+// bit-identical to Ising. On cancellation the partial result is
+// returned along with ctx.Err().
+func IsingContext(ctx context.Context, m *ising.Model, spins []int8, opts Options) (Result, error) {
 	o := opts.withDefaults()
 	r := rng.New(o.Seed)
 	res := Result{Energy: m.Energy(spins)}
 	cur := res.Energy
 	for sweep := 0; sweep < o.Sweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		temp := o.Schedule.Temperature(sweep, o.Sweeps)
 		for step := 0; step < m.N; step++ {
 			i := r.Intn(m.N)
@@ -67,7 +81,7 @@ func Ising(m *ising.Model, spins []int8, opts Options) Result {
 			res.Trace = append(res.Trace, cur)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // accept implements the Metropolis criterion.

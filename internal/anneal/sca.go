@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"cimsa/internal/ising"
@@ -45,6 +46,14 @@ type SCAResult struct {
 // q·σ_i, using the *previous* round's state — fully parallel, like the
 // hardware it models.
 func SCA(m *ising.Model, opts SCAOptions) (SCAResult, error) {
+	return SCAContext(context.Background(), m, opts)
+}
+
+// SCAContext is SCA with cooperative cancellation, checked once per
+// synchronous round without consuming randomness: an uncancelled run is
+// bit-identical to SCA. On cancellation it returns the best state seen
+// so far along with ctx.Err().
+func SCAContext(ctx context.Context, m *ising.Model, opts SCAOptions) (SCAResult, error) {
 	if err := m.Validate(); err != nil {
 		return SCAResult{}, err
 	}
@@ -96,6 +105,11 @@ func SCA(m *ising.Model, opts SCAOptions) (SCAResult, error) {
 	res := SCAResult{}
 
 	for step := 0; step < o.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			res.Spins = bestSpins
+			res.Energy = best
+			return res, err
+		}
 		frac := float64(step) / float64(o.Steps-1+1)
 		temp := o.TStart * math.Pow(o.TEnd/o.TStart, frac)
 		q := o.QStart + frac*(o.QEnd-o.QStart)

@@ -1,0 +1,21 @@
+package anneal
+
+import "cimsa/internal/rng"
+
+// RandomSpins returns n spins drawn ±1 with equal probability,
+// deterministically from the seed. It is the canonical initial state
+// for spin solvers: every caller that shares a seed (direct library
+// calls, the serve path, tests) must start from the same configuration
+// for bit-identity to hold, so they all start here.
+func RandomSpins(n int, seed uint64) []int8 {
+	r := rng.New(seed)
+	spins := make([]int8, n)
+	for i := range spins {
+		if r.Bool() {
+			spins[i] = 1
+		} else {
+			spins[i] = -1
+		}
+	}
+	return spins
+}

@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 
 	"cimsa/internal/ising"
@@ -44,6 +45,15 @@ type TemperingResult struct {
 // minima that trap the cold ones. It is the strongest classical baseline
 // in this repository.
 func TemperingTSP(in *tsplib.Instance, opts TemperingOptions) TemperingResult {
+	res, _ := TemperingTSPContext(context.Background(), in, opts)
+	return res
+}
+
+// TemperingTSPContext is TemperingTSP with cooperative cancellation,
+// checked at sweep boundaries without consuming randomness: an
+// uncancelled run is bit-identical to TemperingTSP. On cancellation the
+// best tour found so far is returned along with ctx.Err().
+func TemperingTSPContext(ctx context.Context, in *tsplib.Instance, opts TemperingOptions) (TemperingResult, error) {
 	n := in.N()
 	o := opts
 	if o.Replicas < 2 {
@@ -86,6 +96,11 @@ func TemperingTSP(in *tsplib.Instance, opts TemperingOptions) TemperingResult {
 
 	res := TemperingResult{}
 	for sweep := 0; sweep < o.Sweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			res.Tour = best
+			res.Length = best.Length(in)
+			return res, err
+		}
 		for ri, rep := range reps {
 			temp := temps[ri]
 			for step := 0; step < n; step++ {
@@ -126,6 +141,11 @@ func TemperingTSP(in *tsplib.Instance, opts TemperingOptions) TemperingResult {
 	quench := rand.Split()
 	bestOrder := []int(best)
 	for sweep := 0; sweep < 20; sweep++ {
+		if err := ctx.Err(); err != nil {
+			res.Tour = best
+			res.Length = best.Length(in)
+			return res, err
+		}
 		improved := false
 		for step := 0; step < 4*n; step++ {
 			i, j := quench.Intn(n), quench.Intn(n)
@@ -143,5 +163,5 @@ func TemperingTSP(in *tsplib.Instance, opts TemperingOptions) TemperingResult {
 	}
 	res.Tour = best
 	res.Length = best.Length(in)
-	return res
+	return res, nil
 }

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/tspprob"
 	"cimsa/internal/serve"
 )
 
@@ -167,6 +169,57 @@ func TestShutdownWhileDraining(t *testing.T) {
 	})
 }
 
+// Mixed problem types through one scheduler: scripted submissions
+// cycle tsp/maxcut/ising, and at every quiesce point the per-problem
+// labeled counters must balance exactly against the harness's ground
+// truth for that type alone — the same conservation identity the
+// unlabeled totals obey, re-checked per label and as a partition of
+// the global submitted count.
+func TestMixedProblemGaugeConservation(t *testing.T) {
+	ops := []Op{
+		{Kind: OpSubmit}, {Kind: OpSubmit}, {Kind: OpSubmit}, // one of each type
+		{Kind: OpProgress, Arg: 0},
+		{Kind: OpComplete, Arg: 0},
+		{Kind: OpQuiesce},
+		{Kind: OpSubmit}, {Kind: OpSubmit}, {Kind: OpSubmit},
+		{Kind: OpCancel, Arg: 4},
+		{Kind: OpFail, Arg: 0},
+		{Kind: OpQuiesce},
+		{Kind: OpStorm, Arg: 3},
+		{Kind: OpQuiesce},
+	}
+	sc := fixedSchedule(108, 2, 8, 8, ops)
+	h := NewHarness(t, sc)
+	for i, op := range sc.Ops {
+		h.step(i, op)
+	}
+	seen := map[string]bool{}
+	for _, tj := range h.jobs {
+		seen[tj.problem] = true
+	}
+	for _, want := range []string{"tsp", "maxcut", "ising"} {
+		if !seen[want] {
+			t.Fatalf("schedule admitted no %s job; traffic mix broken", want)
+		}
+	}
+	h.Finish()
+	// After the full drain the labeled books must balance to the last
+	// job and partition the global total.
+	m := &h.sched.Metrics
+	var partition int64
+	for _, p := range []string{"tsp", "maxcut", "ising"} {
+		pm := m.Problem(p)
+		sum := pm.Queued.Load() + pm.Running.Load() + pm.Done.Load() + pm.Failed.Load() + pm.Canceled.Load()
+		if sum != pm.Submitted.Load() {
+			t.Fatalf("problem %s: buckets sum to %d, submitted %d", p, sum, pm.Submitted.Load())
+		}
+		partition += pm.Submitted.Load()
+	}
+	if got := m.Submitted.Load(); partition != got {
+		t.Fatalf("per-problem submitted counts sum to %d, global submitted %d", partition, got)
+	}
+}
+
 // TestSeededScheduleMatrix runs generated schedules for a fixed seed
 // batch; CI and local runs can extend the matrix with a comma-separated
 // FAULTINJECT_SEEDS. Any failure prints its seed, and rerunning with
@@ -237,11 +290,11 @@ func TestQueuedGaugeRaceProbe(t *testing.T) {
 	budget := time.Now().Add(4 * time.Second)
 	var minQueued atomic.Int64
 	var sched *serve.Scheduler
-	probe := func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+	probe := func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
 		if q := sched.Metrics.Queued.Load(); q < minQueued.Load() {
 			minQueued.Store(q)
 		}
-		return &cimsa.Report{Instance: in.Name, N: in.N(), Length: 1}, nil
+		return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size(), Objective: 1}, nil
 	}
 	sched = serve.NewScheduler(serve.Config{
 		MaxConcurrent: 2, QueueDepth: 4, Solve: probe, SweepEvery: time.Hour,
@@ -251,7 +304,7 @@ func TestQueuedGaugeRaceProbe(t *testing.T) {
 		if i >= minIters && !time.Now().Before(budget) {
 			break
 		}
-		job, err := sched.Submit(in, cimsa.Options{})
+		job, err := sched.Submit(tspprob.New(in, cimsa.Options{}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,8 +328,8 @@ func TestQueuedGaugeRaceProbe(t *testing.T) {
 // submitters churning instant solves while a sampler watches the gauge,
 // then a full-drain accounting check.
 func TestQueuedGaugeNeverNegativeUnderChurn(t *testing.T) {
-	instant := func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
-		return &cimsa.Report{Instance: in.Name, N: in.N(), Length: 1}, nil
+	instant := func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
+		return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size(), Objective: 1}, nil
 	}
 	sched := serve.NewScheduler(serve.Config{
 		MaxConcurrent: 4, QueueDepth: 64, Solve: instant, SweepEvery: time.Hour,
@@ -308,7 +361,7 @@ func TestQueuedGaugeNeverNegativeUnderChurn(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				job, err := sched.Submit(cimsa.GenerateInstance("churn", 10, uint64(w+1)), cimsa.Options{})
+				job, err := sched.Submit(tspprob.New(cimsa.GenerateInstance("churn", 10, uint64(w+1)), cimsa.Options{}))
 				if errors.Is(err, serve.ErrQueueFull) {
 					continue
 				}

@@ -27,6 +27,11 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/maxcut"
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/isingprob"
+	"cimsa/internal/problem/maxcutprob"
+	"cimsa/internal/problem/tspprob"
 	"cimsa/internal/serve"
 )
 
@@ -90,9 +95,9 @@ func NewSolver() *Solver {
 }
 
 // Solve implements serve.SolveFunc.
-func (sv *Solver) Solve(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+func (sv *Solver) Solve(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
 	cmds := make(chan command, 1024)
-	sv.started <- startedJob{name: in.Name, cmds: cmds}
+	sv.started <- startedJob{name: task.Label(), cmds: cmds}
 	iter := 0
 	for {
 		select {
@@ -102,17 +107,46 @@ func (sv *Solver) Solve(ctx context.Context, in *cimsa.Instance, opts cimsa.Opti
 			switch c {
 			case cmdProgress:
 				iter += 50
-				if opts.Progress != nil {
-					opts.Progress(cimsa.ProgressEvent{
+				if run.Progress != nil {
+					run.Progress(problem.Progress{
 						Levels: 1, Iters: 1 << 30, Iter: iter, Clusters: 3,
 					})
 				}
 			case cmdSucceed:
-				return &cimsa.Report{Instance: in.Name, N: in.N(), Length: float64(iter + 1)}, nil
+				return &problem.Result{
+					Problem:    task.Problem(),
+					Instance:   task.Label(),
+					N:          task.Size(),
+					Objective:  float64(iter + 1),
+					Iterations: iter,
+				}, nil
 			case cmdFail:
 				return nil, ErrInjected
 			}
 		}
+	}
+}
+
+// makeTask builds the kind'th scripted task, cycling the registered
+// problem types so a single schedule drives mixed traffic through one
+// scheduler and the per-problem accounting is exercised alongside the
+// global gauges. The instances are tiny: the scripted solver never
+// anneals them, it only needs Label/Size/Validate to hold.
+func makeTask(name string, kind int) problem.Task {
+	switch kind % 3 {
+	case 1:
+		return maxcutprob.New(maxcut.Random(8, 0.5, 1), name, 4, 1)
+	case 2:
+		t, err := isingprob.TaskFromSpec(&isingprob.Spec{
+			Name:     name,
+			Generate: &isingprob.GenerateSpec{N: 8, Density: 0.5, Seed: 1},
+		}, problem.Limits{})
+		if err != nil {
+			panic(err) // fixed, valid spec; cannot fail
+		}
+		return t
+	default:
+		return tspprob.New(cimsa.GenerateInstance(name, 10, 1), cimsa.Options{})
 	}
 }
 
@@ -131,6 +165,7 @@ const (
 // trackedJob pairs a scheduler job with the harness's bookkeeping.
 type trackedJob struct {
 	name     string
+	problem  string
 	job      *serve.Job
 	cmds     chan command // nil until the start signal is consumed
 	phase    jobPhase
@@ -255,14 +290,15 @@ func (h *Harness) logf(format string, args ...any) {
 // submit admits one scripted job (or records backpressure).
 func (h *Harness) submit() *trackedJob {
 	name := fmt.Sprintf("fi-%04d", h.nextID)
+	task := makeTask(name, h.nextID)
 	h.nextID++
-	job, err := h.sched.Submit(cimsa.GenerateInstance(name, 10, 1), cimsa.Options{})
+	job, err := h.sched.Submit(task)
 	switch {
 	case err == nil:
-		tj := &trackedJob{name: name, job: job, phase: phaseQueued}
+		tj := &trackedJob{name: name, problem: task.Problem(), job: job, phase: phaseQueued}
 		h.jobs = append(h.jobs, tj)
 		h.byName[name] = tj
-		h.logf("submit %s -> %s", name, job.ID)
+		h.logf("submit %s (%s) -> %s", name, task.Problem(), job.ID)
 		return tj
 	case errors.Is(err, serve.ErrQueueFull):
 		h.rejected++
@@ -476,7 +512,7 @@ func (h *Harness) Finish() {
 	if err := h.sched.Shutdown(ctx); err != nil {
 		h.fatalf("idle shutdown returned %v", err)
 	}
-	if _, err := h.sched.Submit(cimsa.GenerateInstance("late", 10, 1), cimsa.Options{}); !errors.Is(err, serve.ErrShuttingDown) {
+	if _, err := h.sched.Submit(tspprob.New(cimsa.GenerateInstance("late", 10, 1), cimsa.Options{})); !errors.Is(err, serve.ErrShuttingDown) {
 		h.fatalf("post-shutdown submit returned %v, want ErrShuttingDown", err)
 	}
 	if got := h.sched.Metrics.Rejected.Load(); got != rejectedBefore {

@@ -51,6 +51,68 @@ func (h *Harness) checkConservation() {
 	if sum := m.Queued.Load() + m.Running.Load() + m.Done.Load() + m.Failed.Load() + m.Canceled.Load(); sum != m.Submitted.Load() {
 		h.fatalf("conservation identity broken: buckets sum to %d, submitted %d", sum, m.Submitted.Load())
 	}
+	h.checkProblemConservation()
+}
+
+// checkProblemConservation re-runs the conservation identity on each
+// per-problem metrics slice: with mixed traffic through one scheduler,
+// every problem type's labeled counters must balance against the
+// harness's ground truth for that type alone, and the per-problem
+// submitted counts must partition the global total.
+func (h *Harness) checkProblemConservation() {
+	h.t.Helper()
+	type bucket struct {
+		submitted, queued, running, done, failed, canceled int
+	}
+	per := map[string]*bucket{}
+	for _, tj := range h.jobs {
+		b := per[tj.problem]
+		if b == nil {
+			b = &bucket{}
+			per[tj.problem] = b
+		}
+		b.submitted++
+		switch tj.phase {
+		case phaseQueued:
+			b.queued++
+		case phaseRunning:
+			b.running++
+		case phaseTerminal:
+			switch tj.job.Status().State {
+			case serve.StateDone:
+				b.done++
+			case serve.StateFailed:
+				b.failed++
+			case serve.StateCanceled:
+				b.canceled++
+			}
+		}
+	}
+	m := &h.sched.Metrics
+	var partition int64
+	for name, b := range per {
+		pm := m.Problem(name)
+		check := func(counter string, got int64, want int) {
+			h.t.Helper()
+			if got != int64(want) {
+				h.fatalf("conservation[%s]: %s = %d, harness ground truth = %d", name, counter, got, want)
+			}
+		}
+		check("submitted", pm.Submitted.Load(), b.submitted)
+		check("queued", pm.Queued.Load(), b.queued)
+		check("running", pm.Running.Load(), b.running)
+		check("done", pm.Done.Load(), b.done)
+		check("failed", pm.Failed.Load(), b.failed)
+		check("canceled", pm.Canceled.Load(), b.canceled)
+		sum := pm.Queued.Load() + pm.Running.Load() + pm.Done.Load() + pm.Failed.Load() + pm.Canceled.Load()
+		if sum != pm.Submitted.Load() {
+			h.fatalf("conservation[%s] identity broken: buckets sum to %d, submitted %d", name, sum, pm.Submitted.Load())
+		}
+		partition += pm.Submitted.Load()
+	}
+	if partition != m.Submitted.Load() {
+		h.fatalf("per-problem submitted counts sum to %d, global submitted %d", partition, m.Submitted.Load())
+	}
 }
 
 // checkStatusSanity asserts each tracked job's externally visible state

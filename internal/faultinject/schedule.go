@@ -7,7 +7,7 @@ import (
 	"testing"
 	"time"
 
-	"cimsa"
+	"cimsa/internal/problem"
 	"cimsa/internal/rng"
 	"cimsa/internal/serve"
 )
@@ -291,8 +291,10 @@ func (h *Harness) storm(arg int) {
 		err      error
 	}
 	names := make([]string, g)
+	tasks := make([]problem.Task, g)
 	for i := range names {
 		names[i] = fmt.Sprintf("fi-%04d", h.nextID)
+		tasks[i] = makeTask(names[i], h.nextID)
 		h.nextID++
 	}
 	results := make([]res, g)
@@ -301,7 +303,7 @@ func (h *Harness) storm(arg int) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			job, err := h.sched.Submit(cimsa.GenerateInstance(names[i], 10, 1), cimsa.Options{})
+			job, err := h.sched.Submit(tasks[i])
 			switch {
 			case err == nil:
 				h.sched.Cancel(job.ID)
@@ -321,7 +323,7 @@ func (h *Harness) storm(arg int) {
 		case r.rejected:
 			h.rejected++
 		default:
-			tj := &trackedJob{name: names[i], job: r.job, phase: phaseFinishing, canceled: true}
+			tj := &trackedJob{name: names[i], problem: tasks[i].Problem(), job: r.job, phase: phaseFinishing, canceled: true}
 			h.jobs = append(h.jobs, tj)
 			h.byName[names[i]] = tj
 		}

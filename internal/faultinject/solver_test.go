@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/problem/tspprob"
 	"cimsa/internal/serve"
 )
 
@@ -15,11 +16,11 @@ import (
 // service-level churn that must never perturb a job's own result.
 func solveThroughService(t *testing.T, sched *serve.Scheduler, n int, opts cimsa.Options) *cimsa.Report {
 	t.Helper()
-	sibling, err := sched.Submit(cimsa.GenerateInstance("sibling", n, 99), opts)
+	sibling, err := sched.Submit(tspprob.New(cimsa.GenerateInstance("sibling", n, 99), opts))
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := sched.Submit(cimsa.GenerateInstance("det", n, 7), opts)
+	job, err := sched.Submit(tspprob.New(cimsa.GenerateInstance("det", n, 7), opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func solveThroughService(t *testing.T, sched *serve.Scheduler, n int, opts cimsa
 	if st.State != serve.StateDone {
 		t.Fatalf("solve job ended %s (%s)", st.State, st.Error)
 	}
-	return job.Report()
+	return job.Result().Detail.(*cimsa.Report)
 }
 
 // Real solver through the real service: the same seed must produce
@@ -107,7 +108,7 @@ func TestServiceRestartsMatchDirectSolve(t *testing.T) {
 		defer cancel()
 		_ = sched.Shutdown(ctx)
 	}()
-	job, err := sched.Submit(cimsa.GenerateInstance("restarts", n, 21), opts)
+	job, err := sched.Submit(tspprob.New(cimsa.GenerateInstance("restarts", n, 21), opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestServiceRestartsMatchDirectSolve(t *testing.T) {
 	if st.State != serve.StateDone {
 		t.Fatalf("service solve ended %s (%s)", st.State, st.Error)
 	}
-	served := job.Report()
+	served := job.Result().Detail.(*cimsa.Report)
 	if served.Length != direct.Length {
 		t.Fatalf("service length %v != direct %v", served.Length, direct.Length)
 	}

@@ -8,6 +8,7 @@
 package maxcut
 
 import (
+	"context"
 	"fmt"
 
 	"cimsa/internal/anneal"
@@ -109,30 +110,31 @@ func CompleteBipartite(a, b int) *Graph {
 	return g
 }
 
-// Result reports a Max-Cut solve.
+// Result reports a Max-Cut solve. The json tags are its wire shape:
+// it is served verbatim as a maxcut job's result detail.
 type Result struct {
-	Assign []int8
-	Cut    float64
+	Assign []int8  `json:"assign"`
+	Cut    float64 `json:"cut"`
 	// Ratio is Cut / TotalWeight (1.0 means every edge cut — only
 	// bipartite graphs achieve it).
-	Ratio float64
+	Ratio float64 `json:"ratio"`
 }
 
 // Solve anneals the graph with the generic Ising Metropolis engine.
 func Solve(g *Graph, sweeps int, seed uint64) (Result, error) {
+	return SolveContext(context.Background(), g, sweeps, seed)
+}
+
+// SolveContext is Solve with cooperative cancellation, checked at sweep
+// boundaries without consuming randomness: an uncancelled run is
+// bit-identical to Solve. On cancellation it returns ctx.Err() and no
+// result.
+func SolveContext(ctx context.Context, g *Graph, sweeps int, seed uint64) (Result, error) {
 	m, err := g.ToIsing()
 	if err != nil {
 		return Result{}, err
 	}
-	r := rng.New(seed)
-	spins := make([]int8, g.N)
-	for i := range spins {
-		if r.Bool() {
-			spins[i] = 1
-		} else {
-			spins[i] = -1
-		}
-	}
+	spins := anneal.RandomSpins(g.N, seed)
 	if sweeps <= 0 {
 		sweeps = 200
 	}
@@ -146,11 +148,13 @@ func Solve(g *Graph, sweeps int, seed uint64) (Result, error) {
 	if maxW == 0 {
 		maxW = 1
 	}
-	anneal.Ising(m, spins, anneal.Options{
+	if _, err := anneal.IsingContext(ctx, m, spins, anneal.Options{
 		Sweeps:   sweeps,
 		Seed:     seed,
 		Schedule: anneal.Geometric{Start: 2 * maxW, End: maxW / 100},
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 	cut := g.CutValue(spins)
 	res := Result{Assign: spins, Cut: cut}
 	if tw := g.TotalWeight(); tw > 0 {

@@ -1,0 +1,39 @@
+package problem_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cimsa/internal/problem"
+
+	_ "cimsa/internal/problem/isingprob"
+	_ "cimsa/internal/problem/maxcutprob"
+	_ "cimsa/internal/problem/tspprob"
+)
+
+func TestRegistryHasAllAdapters(t *testing.T) {
+	want := []string{"ising", "maxcut", "qubo", "tsp"}
+	if got := problem.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered problems %v, want %v", got, want)
+	}
+	for _, name := range want {
+		typ, ok := problem.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missed", name)
+		}
+		if typ.Name() != name {
+			t.Fatalf("Lookup(%q) returned type named %q", name, typ.Name())
+		}
+		// Every adapter must reject garbage at parse time, with no task.
+		task, err := typ.NewTask([]byte(`{"no_such_field":1}`), problem.Limits{})
+		if err == nil {
+			t.Fatalf("%s accepted an unknown field", name)
+		}
+		if task != nil && !reflect.ValueOf(task).IsNil() {
+			t.Fatalf("%s returned a task alongside %v", name, err)
+		}
+	}
+	if _, ok := problem.Lookup("vertexcover"); ok {
+		t.Fatal("Lookup invented an unregistered problem")
+	}
+}

@@ -6,10 +6,17 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync/atomic"
 
-	"cimsa"
+	"strings"
+
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/tspprob"
+
+	// The built-in problem types self-register with the registry; the
+	// SubmitRequest payload sections correspond one-to-one.
+	_ "cimsa/internal/problem/isingprob"
+	_ "cimsa/internal/problem/maxcutprob"
 )
 
 // Server is the HTTP front end over a Scheduler.
@@ -29,10 +36,11 @@ import (
 //	GET    /healthz             liveness probe
 type Server struct {
 	sched *Scheduler
-	// MaxN rejects instances above this city count before they reach the
-	// queue (0 = unlimited). Untrusted clients can otherwise queue
-	// arbitrarily large solves.
-	MaxN int
+	// Limits rejects oversized instances before they reach the queue —
+	// and before any size-proportional allocation (zero fields =
+	// unlimited). Untrusted clients can otherwise queue arbitrarily
+	// large solves.
+	Limits problem.Limits
 	// MaxBodyBytes bounds request bodies (default 32 MiB — TSPLIB
 	// uploads are line-oriented text and 100k cities fit comfortably).
 	MaxBodyBytes int64
@@ -49,62 +57,44 @@ func NewServer(sched *Scheduler) *Server {
 	return &Server{sched: sched, MaxBodyBytes: 32 << 20}
 }
 
-// SubmitRequest selects exactly one instance source plus the solve
-// options.
+// SubmitRequest names a problem type and carries its payload section.
+// Exactly one payload section (tsp / maxcut / ising / qubo) may be
+// set; the optional "problem" field must agree with it when both are
+// present. The pre-registry TSP-only schema — name / tsplib / generate
+// / options at the top level — is still accepted and routed to "tsp",
+// so old clients and old journal records keep working unchanged.
 type SubmitRequest struct {
-	// Name solves a built-in registry instance (e.g. "pcb3038").
-	Name string `json:"name,omitempty"`
-	// TSPLIB is a raw TSPLIB95 .tsp file body.
-	TSPLIB string `json:"tsplib,omitempty"`
-	// Generate synthesizes an instance deterministically.
-	Generate *GenerateSpec `json:"generate,omitempty"`
-	// Options is the full solver design point.
-	Options OptionsSpec `json:"options"`
+	// Problem selects the registered problem type. Optional when a
+	// payload section or the legacy TSP fields identify it.
+	Problem string `json:"problem,omitempty"`
+
+	// Legacy TSP shorthand (the pre-registry schema).
+	Name     string                `json:"name,omitempty"`
+	TSPLIB   string                `json:"tsplib,omitempty"`
+	Generate *tspprob.GenerateSpec `json:"generate,omitempty"`
+	Options  tspprob.OptionsSpec   `json:"options,omitempty"`
+
+	// Per-problem payload sections; each decodes under its adapter's
+	// strict schema (see the registered problem types).
+	TSP    json.RawMessage `json:"tsp,omitempty"`
+	MaxCut json.RawMessage `json:"maxcut,omitempty"`
+	Ising  json.RawMessage `json:"ising,omitempty"`
+	QUBO   json.RawMessage `json:"qubo,omitempty"`
 }
 
-// GenerateSpec describes a synthetic instance: the name picks the
-// spatial style ("pcb...", "rl...", "pla...", "usa...", else uniform).
-type GenerateSpec struct {
-	Name string `json:"name"`
-	N    int    `json:"n"`
-	Seed uint64 `json:"seed"`
-}
-
-// OptionsSpec mirrors cimsa.Options for the wire.
-type OptionsSpec struct {
-	PMax     int    `json:"pmax,omitempty"`
-	Seed     uint64 `json:"seed,omitempty"`
-	Mode     string `json:"mode,omitempty"`
-	Restarts int    `json:"restarts,omitempty"`
-	Parallel bool   `json:"parallel,omitempty"`
-	// Workers follows cimsa.Options.Workers: a count, 0 (GOMAXPROCS
-	// with parallel), or -1 for auto — the right setting for a service
-	// fielding mixed job sizes, since each solve picks sequential or
-	// pooled for itself. Any other negative value is rejected by
-	// validation.
-	Workers      int  `json:"workers,omitempty"`
-	Reference    bool `json:"reference,omitempty"`
-	SkipHardware bool `json:"skip_hardware,omitempty"`
-}
-
-func (o OptionsSpec) toOptions() cimsa.Options {
-	return cimsa.Options{
-		PMax:         o.PMax,
-		Seed:         o.Seed,
-		Mode:         o.Mode,
-		Restarts:     o.Restarts,
-		Parallel:     o.Parallel,
-		Workers:      o.Workers,
-		Reference:    o.Reference,
-		SkipHardware: o.SkipHardware,
-	}
-}
+// GenerateSpec and OptionsSpec are the TSP wire specs, re-exported
+// from their adapter package for source compatibility.
+type (
+	GenerateSpec = tspprob.GenerateSpec
+	OptionsSpec  = tspprob.OptionsSpec
+)
 
 // ResultResponse is the finished-job payload: the status plus the full
-// solver report (tour, statistics, hardware estimate).
+// problem-specific report (for TSP: tour, statistics, hardware
+// estimate; for maxcut/ising/qubo: the assignment and its scores).
 type ResultResponse struct {
 	Status
-	Report *cimsa.Report `json:"report"`
+	Report any `json:"report"`
 }
 
 // Handler builds the route table.
@@ -173,14 +163,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	in, err := s.buildInstance(&req)
+	task, err := s.buildTask(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if s.MaxN > 0 && in.N() > s.MaxN {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("instance has %d cities; this server accepts at most %d", in.N(), s.MaxN))
 		return
 	}
 	// Re-marshal the parsed request as the journal source: it round-trips
@@ -191,7 +176,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request not journalable: "+err.Error())
 		return
 	}
-	job, err := s.sched.SubmitSource(in, req.Options.toOptions(), source)
+	job, err := s.sched.SubmitSource(task, source)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.Status())
@@ -205,41 +190,84 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// buildInstance resolves the request's instance source (exactly one of
-// name / tsplib / generate must be set).
-func (s *Server) buildInstance(req *SubmitRequest) (*cimsa.Instance, error) {
-	sources := 0
-	for _, set := range []bool{req.Name != "", req.TSPLIB != "", req.Generate != nil} {
-		if set {
-			sources++
+// buildTask resolves the request to a validated task via the problem
+// registry. The errors name the offending field so clients learn the
+// schema from the 400, not from the source.
+func (s *Server) buildTask(req *SubmitRequest) (problem.Task, error) {
+	type section struct {
+		name    string
+		payload json.RawMessage
+	}
+	var sections []section
+	for _, sec := range []section{
+		{"tsp", req.TSP},
+		{"maxcut", req.MaxCut},
+		{"ising", req.Ising},
+		{"qubo", req.QUBO},
+	} {
+		if len(sec.payload) > 0 {
+			sections = append(sections, sec)
 		}
 	}
-	if sources != 1 {
-		return nil, fmt.Errorf("specify exactly one of name, tsplib, generate (got %d)", sources)
-	}
+	legacy := req.Name != "" || req.TSPLIB != "" || req.Generate != nil
 	switch {
-	case req.Name != "":
-		return cimsa.LoadNamed(req.Name)
-	case req.TSPLIB != "":
-		return cimsa.LoadInstance(strings.NewReader(req.TSPLIB))
+	case len(sections) > 1:
+		names := make([]string, len(sections))
+		for i, sec := range sections {
+			names[i] = sec.name
+		}
+		return nil, fmt.Errorf("specify exactly one problem section (got %s)", strings.Join(names, ", "))
+	case len(sections) == 1:
+		sec := sections[0]
+		if legacy {
+			return nil, fmt.Errorf("legacy tsp fields (name/tsplib/generate) cannot be combined with the %q section", sec.name)
+		}
+		if req.Problem != "" && req.Problem != sec.name {
+			return nil, fmt.Errorf("problem %q does not match the %q payload section", req.Problem, sec.name)
+		}
+		t, ok := problem.Lookup(sec.name)
+		if !ok {
+			return nil, fmt.Errorf("unknown problem %q (registered: %s)", sec.name, strings.Join(problem.Names(), ", "))
+		}
+		task, err := t.NewTask(sec.payload, s.Limits)
+		if err != nil {
+			// Adapters return concrete pointers; don't let a typed nil
+			// escape as a non-nil problem.Task.
+			return nil, err
+		}
+		return task, nil
 	default:
-		g := req.Generate
-		if g.N < 3 {
-			return nil, fmt.Errorf("generate.n must be >= 3, got %d", g.N)
+		// No payload section: the legacy TSP-only schema (also how every
+		// pre-registry journal record replays).
+		if req.Problem != "" && req.Problem != tspprob.Name {
+			if _, ok := problem.Lookup(req.Problem); !ok {
+				return nil, fmt.Errorf("unknown problem %q (registered: %s)", req.Problem, strings.Join(problem.Names(), ", "))
+			}
+			return nil, fmt.Errorf("problem %q needs its %q payload section", req.Problem, req.Problem)
 		}
-		if s.MaxN > 0 && g.N > s.MaxN {
-			return nil, fmt.Errorf("generate.n %d exceeds the server limit %d", g.N, s.MaxN)
+		spec := tspprob.Spec{Name: req.Name, TSPLIB: req.TSPLIB, Generate: req.Generate, Options: req.Options}
+		task, err := tspprob.TaskFromSpec(&spec, s.Limits)
+		if err != nil {
+			return nil, err
 		}
-		name := g.Name
-		if name == "" {
-			name = fmt.Sprintf("gen%d", g.N)
-		}
-		return cimsa.GenerateInstance(name, g.N, g.Seed), nil
+		return task, nil
 	}
 }
 
+// handleList reports every tracked job plus a per-problem × state
+// summary ("problems": {"tsp": {"done": 2, ...}, ...}).
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.List()})
+	jobs := s.sched.List()
+	problems := map[string]map[State]int{}
+	for _, st := range jobs {
+		m := problems[st.Problem]
+		if m == nil {
+			m = map[State]int{}
+			problems[st.Problem] = m
+		}
+		m[st.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "problems": problems})
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -267,7 +295,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is %s; result not ready", st.ID, st.State))
 		return
 	}
-	writeJSON(w, http.StatusOK, ResultResponse{Status: st, Report: job.Report()})
+	var report any
+	if res := job.Result(); res != nil {
+		report = res.Detail
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Status: st, Report: report})
 }
 
 // handleCancel requests cancellation and returns 202 Accepted with a

@@ -128,8 +128,14 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Fatalf("SSE stream had %d progress / %d done events", progress, done)
 	}
 
-	// The full result matches the direct solve bit for bit.
-	res := decodeJSON[ResultResponse](t, mustGet(t, base+"/v1/jobs/"+st.ID+"/result"))
+	// The full result matches the direct solve bit for bit. The report
+	// payload is the TSP adapter's *cimsa.Report, byte-compatible with
+	// the pre-registry wire format.
+	type tspResult struct {
+		Status
+		Report *cimsa.Report `json:"report"`
+	}
+	res := decodeJSON[tspResult](t, mustGet(t, base+"/v1/jobs/"+st.ID+"/result"))
 	if res.Report == nil || res.Report.Length != direct.Length {
 		t.Fatalf("result report missing or wrong length")
 	}
@@ -239,7 +245,7 @@ func TestServiceErrorMapping(t *testing.T) {
 	// scheduler's shutdown does not wait on a still-blocked stub.
 	t.Cleanup(st.releaseAll)
 	srv := NewServer(sched)
-	srv.MaxN = 500
+	srv.Limits.MaxCities = 500
 	limited := httptest.NewServer(srv.Handler())
 	t.Cleanup(limited.Close)
 
@@ -267,7 +273,7 @@ func TestServiceErrorMapping(t *testing.T) {
 
 	// workers:-1 is the auto sentinel, not an invalid count: it must
 	// map straight through to cimsa.WorkersAuto and validate clean.
-	autoOpts := OptionsSpec{Workers: -1}.toOptions()
+	autoOpts := OptionsSpec{Workers: -1}.ToOptions()
 	if autoOpts.Workers != cimsa.WorkersAuto {
 		t.Errorf("OptionsSpec{Workers: -1} mapped to %d, want cimsa.WorkersAuto (%d)",
 			autoOpts.Workers, cimsa.WorkersAuto)

@@ -11,7 +11,7 @@ import (
 	"sync"
 	"time"
 
-	"cimsa"
+	"cimsa/internal/problem"
 )
 
 // State is a job's lifecycle phase.
@@ -38,14 +38,14 @@ func (s State) Terminal() bool {
 // were dropped from the replay buffer and the stream resumes at
 // FirstSeq.
 type Event struct {
-	Type     string               `json:"type"`
-	Seq      int                  `json:"seq"`
-	Job      string               `json:"job"`
-	Progress *cimsa.ProgressEvent `json:"progress,omitempty"`
-	Length   float64              `json:"length,omitempty"`
-	Error    string               `json:"error,omitempty"`
-	Evicted  int                  `json:"evicted,omitempty"`
-	FirstSeq int                  `json:"first_seq,omitempty"`
+	Type     string            `json:"type"`
+	Seq      int               `json:"seq"`
+	Job      string            `json:"job"`
+	Progress *problem.Progress `json:"progress,omitempty"`
+	Length   float64           `json:"length,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Evicted  int               `json:"evicted,omitempty"`
+	FirstSeq int               `json:"first_seq,omitempty"`
 }
 
 // maxReplayEvents is the default bound on each job's event replay
@@ -59,8 +59,7 @@ type Job struct {
 	// ID is the job's opaque identifier.
 	ID string
 
-	in   *cimsa.Instance
-	opts cimsa.Options
+	task problem.Task
 
 	// ctx is the solve's context; cancel aborts it (set at creation,
 	// immutable afterwards).
@@ -84,7 +83,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	expires   time.Time
-	report    *cimsa.Report
+	result    *problem.Result
 	err       error
 	seq       int
 	events    []Event
@@ -94,14 +93,20 @@ type Job struct {
 
 // Status is the wire representation of a job's current state.
 type Status struct {
-	ID        string     `json:"id"`
+	ID string `json:"id"`
+	// Problem is the registered problem type ("tsp", "maxcut", ...).
+	Problem   string     `json:"problem"`
 	State     State      `json:"state"`
 	Instance  string     `json:"instance"`
 	N         int        `json:"n"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
-	// Length and OptimalRatio are filled once the job is done.
+	// Length and OptimalRatio are filled once the job is done: the
+	// problem's headline objective (tour length, cut weight, energy)
+	// and its normalized quality score where the backend computes one.
+	// The field names predate the multi-problem registry and stay for
+	// wire compatibility.
 	Length       float64 `json:"length,omitempty"`
 	OptimalRatio float64 `json:"optimal_ratio,omitempty"`
 	Error        string  `json:"error,omitempty"`
@@ -120,9 +125,10 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	st := Status{
 		ID:        j.ID,
+		Problem:   j.task.Problem(),
 		State:     j.state,
-		Instance:  j.in.Name,
-		N:         j.in.N(),
+		Instance:  j.task.Label(),
+		N:         j.task.Size(),
 		Submitted: j.submitted,
 	}
 	if !j.started.IsZero() {
@@ -133,9 +139,9 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.Finished = &t
 	}
-	if j.report != nil {
-		st.Length = j.report.Length
-		st.OptimalRatio = j.report.OptimalRatio
+	if j.result != nil {
+		st.Length = j.result.Objective
+		st.OptimalRatio = j.result.Quality
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -144,18 +150,21 @@ func (j *Job) Status() Status {
 	return st
 }
 
-// Report returns the finished report, or nil while the job is not done.
-func (j *Job) Report() *cimsa.Report {
+// Result returns the finished result, or nil while the job is not done.
+func (j *Job) Result() *problem.Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.report
+	return j.result
 }
+
+// Task returns the job's validated task.
+func (j *Job) Task() problem.Task { return j.task }
 
 // publish appends an event to the replay buffer and fans it out to the
 // live subscribers. Slow subscribers lose events rather than stalling
 // the solve (their channel send is non-blocking); the replay buffer
 // keeps the most recent maxReplayEvents.
-func (j *Job) publish(typ string, progress *cimsa.ProgressEvent, length float64, errMsg string) {
+func (j *Job) publish(typ string, progress *problem.Progress, length float64, errMsg string) {
 	limit := j.replayLimit
 	if limit <= 0 {
 		limit = maxReplayEvents

@@ -30,17 +30,23 @@ type Journal struct {
 	path string
 }
 
-// journalRecord is one JSONL line.
+// journalRecord is one JSONL line. Problem records the job's problem
+// type; records from before the multi-problem registry omit it, which
+// replay treats as the legacy TSP-only schema.
 type journalRecord struct {
 	Op        string          `json:"op"` // "submit" | "end"
 	ID        string          `json:"id"`
+	Problem   string          `json:"problem,omitempty"`
 	Submitted time.Time       `json:"submitted,omitempty"`
 	Request   json.RawMessage `json:"request,omitempty"`
 }
 
 // JournalEntry is one live (unfinished) job found during replay.
+// Problem is empty for records written before the multi-problem
+// registry (the request body itself still identifies the problem).
 type JournalEntry struct {
 	ID        string
+	Problem   string
 	Submitted time.Time
 	Request   json.RawMessage
 }
@@ -65,7 +71,7 @@ func OpenJournal(path string) (*Journal, []JournalEntry, error) {
 		return nil, nil, fmt.Errorf("journal: compact: %w", err)
 	}
 	for _, e := range live {
-		rec := journalRecord{Op: "submit", ID: e.ID, Submitted: e.Submitted, Request: e.Request}
+		rec := journalRecord{Op: "submit", ID: e.ID, Problem: e.Problem, Submitted: e.Submitted, Request: e.Request}
 		if err := appendRecord(f, rec); err != nil {
 			f.Close()
 			os.Remove(tmp)
@@ -124,7 +130,7 @@ func replayJournal(path string) ([]JournalEntry, error) {
 		switch rec.Op {
 		case "submit":
 			seq++
-			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
+			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Problem: rec.Problem, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
 		case "end":
 			delete(open, rec.ID)
 		}
@@ -172,9 +178,10 @@ func (j *Journal) append(rec journalRecord) error {
 	return nil
 }
 
-// Submitted records an accepted job with its original request body.
-func (j *Journal) Submitted(id string, submitted time.Time, request json.RawMessage) error {
-	return j.append(journalRecord{Op: "submit", ID: id, Submitted: submitted, Request: request})
+// Submitted records an accepted job with its problem type and original
+// request body.
+func (j *Journal) Submitted(id string, submitted time.Time, problem string, request json.RawMessage) error {
+	return j.append(journalRecord{Op: "submit", ID: id, Problem: problem, Submitted: submitted, Request: request})
 }
 
 // Finished retires a job that reached a terminal state (done, failed

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/tspprob"
 )
 
 func openTestJournal(t *testing.T, path string) (*Journal, []JournalEntry) {
@@ -35,7 +37,7 @@ func TestJournalRoundTripAndCompaction(t *testing.T) {
 	}
 	ts := time.Unix(5000, 0).UTC()
 	for _, id := range []string{"a", "b", "c"} {
-		if err := j.Submitted(id, ts, json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
+		if err := j.Submitted(id, ts, "tsp", json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -67,7 +69,7 @@ func TestJournalRoundTripAndCompaction(t *testing.T) {
 func TestJournalIgnoresTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	j, _ := openTestJournal(t, path)
-	if err := j.Submitted("whole", time.Unix(1, 0), json.RawMessage(`{}`)); err != nil {
+	if err := j.Submitted("whole", time.Unix(1, 0), "tsp", json.RawMessage(`{}`)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -119,13 +121,13 @@ func TestSchedulerRetiresJournaledJobs(t *testing.T) {
 	j, _ := openTestJournal(t, path)
 	s := NewScheduler(Config{
 		Journal: j,
-		Solve: func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
-			return &cimsa.Report{Instance: in.Name, N: in.N()}, nil
+		Solve: func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
+			return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size()}, nil
 		},
 	})
 	defer s.Shutdown(context.Background())
 	in := cimsa.GenerateInstance("retire", 50, 1)
-	job, err := s.SubmitSource(in, cimsa.Options{SkipHardware: true}, jobRequest(t, 50))
+	job, err := s.SubmitSource(tspprob.New(in, cimsa.Options{SkipHardware: true}), jobRequest(t, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestSchedulerRetiresJournaledJobs(t *testing.T) {
 func crashState(t *testing.T, stateDir, jobID string, n int, withCheckpoint bool) {
 	t.Helper()
 	j, _ := openTestJournal(t, filepath.Join(stateDir, "journal.jsonl"))
-	if err := j.Submitted(jobID, time.Unix(7000, 0), jobRequest(t, n)); err != nil {
+	if err := j.Submitted(jobID, time.Unix(7000, 0), "tsp", jobRequest(t, n)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -206,7 +208,7 @@ func TestRecoverResumesInterruptedJob(t *testing.T) {
 	if st.State != StateDone {
 		t.Fatalf("recovered job ended %s (%s)", st.State, st.Error)
 	}
-	rep := job.Report()
+	rep := job.Result().Detail.(*cimsa.Report)
 	if !reflect.DeepEqual(rep.Tour, want.Tour) || rep.Length != want.Length || rep.Solver != want.Solver {
 		t.Fatal("recovered job's result differs from an uninterrupted run")
 	}
@@ -260,7 +262,7 @@ func TestRecoverCorruptCheckpointSolvesFresh(t *testing.T) {
 	if st.State != StateDone {
 		t.Fatalf("job ended %s (%s)", st.State, st.Error)
 	}
-	if !reflect.DeepEqual(job.Report().Tour, want.Tour) {
+	if !reflect.DeepEqual(job.Result().Detail.(*cimsa.Report).Tour, want.Tour) {
 		t.Fatal("fresh fallback solve produced a different result")
 	}
 	if sched.Metrics.ResumeFailures.Load() != 1 {
@@ -275,7 +277,7 @@ func TestRecoverDropsUnbuildableEntry(t *testing.T) {
 	stateDir := t.TempDir()
 	path := filepath.Join(stateDir, "journal.jsonl")
 	j, _ := openTestJournal(t, path)
-	if err := j.Submitted("j0001-junk00", time.Unix(1, 0), json.RawMessage(`{"name":"no-such-instance-xyz"}`)); err != nil {
+	if err := j.Submitted("j0001-junk00", time.Unix(1, 0), "", json.RawMessage(`{"name":"no-such-instance-xyz"}`)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -346,9 +348,9 @@ func TestSubmitJournalsThroughHTTP(t *testing.T) {
 	block := make(chan struct{})
 	s := NewScheduler(Config{
 		Journal: j,
-		Solve: func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+		Solve: func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
 			<-block
-			return &cimsa.Report{Instance: in.Name, N: in.N()}, nil
+			return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size()}, nil
 		},
 	})
 	defer func() {

@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 )
 
 // Metrics holds the service counters in a Prometheus-compatible text
 // exposition (hand-rolled: the module takes no dependencies). Gauges
 // track the live queue/slot occupancy; counters are monotonic.
+//
+// The unlabeled cimserve_jobs_* families aggregate over every problem
+// type — their names and meanings predate the multi-problem registry
+// and are stable. The cimserve_problem_jobs_* families carry the same
+// counters split by {problem="..."} label; they are separate families
+// (not labeled series of the old names) so sum() over either family
+// never double-counts.
 type Metrics struct {
 	Submitted atomic.Int64 // jobs accepted into the queue
 	Rejected  atomic.Int64 // jobs refused with queue-full backpressure
@@ -28,6 +37,48 @@ type Metrics struct {
 	// ratio is the service's aggregate iterations/sec.
 	solveNanos atomic.Int64
 	iterations atomic.Int64
+
+	pmu        sync.Mutex
+	perProblem map[string]*ProblemMetrics
+}
+
+// ProblemMetrics is one problem type's slice of the job counters.
+type ProblemMetrics struct {
+	Submitted atomic.Int64
+	Queued    atomic.Int64 // gauge
+	Running   atomic.Int64 // gauge
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+}
+
+// Problem returns the counters for one problem type, creating them on
+// first use. The returned pointer is stable for the Metrics' lifetime.
+func (m *Metrics) Problem(name string) *ProblemMetrics {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	if m.perProblem == nil {
+		m.perProblem = map[string]*ProblemMetrics{}
+	}
+	pm := m.perProblem[name]
+	if pm == nil {
+		pm = &ProblemMetrics{}
+		m.perProblem[name] = pm
+	}
+	return pm
+}
+
+// problemNames snapshots the labeled problem types, sorted for a
+// stable exposition order.
+func (m *Metrics) problemNames() []string {
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
+	names := make([]string, 0, len(m.perProblem))
+	for n := range m.perProblem {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ObserveSolve records a completed solve's latency and iteration count.
@@ -72,6 +123,33 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	} {
 		if err := emit(row.name, row.kind, row.help, row.v); err != nil {
 			return n, err
+		}
+	}
+	names := m.problemNames()
+	if len(names) > 0 {
+		for _, fam := range []struct {
+			name, kind, help string
+			v                func(*ProblemMetrics) int64
+		}{
+			{"cimserve_problem_jobs_submitted_total", "counter", "Jobs accepted into the queue, by problem type.", func(p *ProblemMetrics) int64 { return p.Submitted.Load() }},
+			{"cimserve_problem_jobs_queued", "gauge", "Jobs currently waiting for a solver slot, by problem type.", func(p *ProblemMetrics) int64 { return p.Queued.Load() }},
+			{"cimserve_problem_jobs_running", "gauge", "Jobs currently occupying a solver slot, by problem type.", func(p *ProblemMetrics) int64 { return p.Running.Load() }},
+			{"cimserve_problem_jobs_done_total", "counter", "Jobs finished successfully, by problem type.", func(p *ProblemMetrics) int64 { return p.Done.Load() }},
+			{"cimserve_problem_jobs_failed_total", "counter", "Jobs finished with a solver error, by problem type.", func(p *ProblemMetrics) int64 { return p.Failed.Load() }},
+			{"cimserve_problem_jobs_canceled_total", "counter", "Jobs canceled while queued or running, by problem type.", func(p *ProblemMetrics) int64 { return p.Canceled.Load() }},
+		} {
+			c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+			for _, name := range names {
+				c, err := fmt.Fprintf(w, "%s{problem=%q} %s\n", fam.name, name, formatMetric(float64(fam.v(m.Problem(name)))))
+				n += int64(c)
+				if err != nil {
+					return n, err
+				}
+			}
 		}
 	}
 	return n, nil

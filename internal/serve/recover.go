@@ -4,21 +4,25 @@ import (
 	"encoding/json"
 	"os"
 
-	"cimsa"
+	"cimsa/internal/problem"
 )
 
 // Recover rebuilds and re-enqueues the journal's live entries — jobs
 // that were queued or running when the previous process died. Each
 // entry's original request body is parsed through the same path as a
-// fresh submission; the job keeps its ID and submission time, and its
-// checkpoint directory (if any) makes the solve resume mid-anneal,
-// bit-identical to never having been interrupted.
+// fresh submission (the problem registry), so a journal can mix
+// problem types — and records written before the multi-problem
+// registry, which carry no problem field and use the TSP-only schema,
+// replay through the same legacy route a live client would use. The
+// job keeps its ID and submission time, and its checkpoint directory
+// (if any) makes the solve resume mid-anneal, bit-identical to never
+// having been interrupted.
 //
 // An entry that no longer builds (unparseable record, instance over
-// MaxN, queue full) is dropped: logged, retired from the journal, its
-// checkpoints removed — it will not wedge every future boot. Returns
-// the number of jobs re-enqueued. /healthz serves 503 until Recover
-// returns.
+// the size limits, queue full) is dropped: logged, retired from the
+// journal, its checkpoints removed — it will not wedge every future
+// boot. Returns the number of jobs re-enqueued. /healthz serves 503
+// until Recover returns.
 func (s *Server) Recover(entries []JournalEntry) int {
 	s.recovering.Store(true)
 	defer s.recovering.Store(false)
@@ -26,12 +30,12 @@ func (s *Server) Recover(entries []JournalEntry) int {
 	for _, e := range entries {
 		var req SubmitRequest
 		err := json.Unmarshal(e.Request, &req)
-		var in *cimsa.Instance
+		var task problem.Task
 		if err == nil {
-			in, err = s.buildInstance(&req)
+			task, err = s.buildTask(&req)
 		}
 		if err == nil {
-			_, err = s.sched.Resubmit(e.ID, e.Submitted, in, req.Options.toOptions())
+			_, err = s.sched.Resubmit(e.ID, e.Submitted, task)
 		}
 		if err != nil {
 			s.sched.cfg.Logf("recovery: dropping job %s: %v", e.ID, err)

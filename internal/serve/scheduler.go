@@ -14,13 +14,13 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cimsa"
 	"cimsa/internal/checkpoint"
+	"cimsa/internal/problem"
 )
 
-// SolveFunc runs one job's solve. Production uses cimsa.SolveContext;
-// tests substitute stubs to script timing.
-type SolveFunc func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error)
+// SolveFunc runs one job's solve. Production calls task.Solve; tests
+// and the fault-injection harness substitute stubs to script timing.
+type SolveFunc func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error)
 
 // Config sizes the scheduler.
 type Config struct {
@@ -86,8 +86,8 @@ func (c Config) withDefaults() Config {
 		c.ReplayBuffer = maxReplayEvents
 	}
 	if c.Solve == nil {
-		c.Solve = func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
-			return cimsa.SolveContext(ctx, in, opts)
+		c.Solve = func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
+			return task.Solve(ctx, run)
 		}
 	}
 	if c.Now == nil {
@@ -154,10 +154,10 @@ func (s *Scheduler) newID() string {
 	return fmt.Sprintf("j%04d-%s", s.idSeq.Add(1), hex.EncodeToString(b[:]))
 }
 
-// Submit validates and enqueues a job. The instance and options are
-// owned by the scheduler afterwards and must not be mutated.
-func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error) {
-	return s.SubmitSource(in, opts, nil)
+// Submit validates and enqueues a job. The task is owned by the
+// scheduler afterwards and must not be mutated.
+func (s *Scheduler) Submit(task problem.Task) (*Job, error) {
+	return s.SubmitSource(task, nil)
 }
 
 // SubmitSource is Submit carrying the original request body: with a
@@ -165,39 +165,32 @@ func (s *Scheduler) Submit(in *cimsa.Instance, opts cimsa.Options) (*Job, error)
 // submission is acknowledged, and a later boot can rebuild and
 // re-enqueue the job from it. A nil source skips journaling — the job
 // cannot be recovered.
-func (s *Scheduler) SubmitSource(in *cimsa.Instance, opts cimsa.Options, source json.RawMessage) (*Job, error) {
-	if err := opts.Validate(); err != nil {
+func (s *Scheduler) SubmitSource(task problem.Task, source json.RawMessage) (*Job, error) {
+	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	return s.enqueue(s.newID(), time.Time{}, in, opts, source, false)
+	return s.enqueue(s.newID(), time.Time{}, task, source, false)
 }
 
 // Resubmit re-enqueues a recovered job under its original ID and
 // submission time. The journal already holds its record, so nothing is
 // re-journaled.
-func (s *Scheduler) Resubmit(id string, submitted time.Time, in *cimsa.Instance, opts cimsa.Options) (*Job, error) {
-	if err := opts.Validate(); err != nil {
+func (s *Scheduler) Resubmit(id string, submitted time.Time, task problem.Task) (*Job, error) {
+	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	return s.enqueue(id, submitted, in, opts, nil, s.cfg.Journal != nil)
+	return s.enqueue(id, submitted, task, nil, s.cfg.Journal != nil)
 }
 
 // enqueue admits a job under s.mu. A zero submitted time means "now";
 // a non-nil source is journaled inside the critical section, so the
 // journal order matches the queue order; journaled marks a recovered
 // job whose record is already in the journal.
-func (s *Scheduler) enqueue(id string, submitted time.Time, in *cimsa.Instance, opts cimsa.Options, source json.RawMessage, journaled bool) (*Job, error) {
+func (s *Scheduler) enqueue(id string, submitted time.Time, task problem.Task, source json.RawMessage, journaled bool) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		ID:          id,
-		in:          in,
-		opts:        opts,
+		task:        task,
 		ctx:         ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
@@ -231,7 +224,7 @@ func (s *Scheduler) enqueue(id string, submitted time.Time, in *cimsa.Instance, 
 	if s.cfg.Journal != nil && source != nil {
 		// Durability before acknowledgement: if the journal can't hold
 		// the job, the client must not believe it was accepted.
-		if err := s.cfg.Journal.Submitted(job.ID, job.submitted, source); err != nil {
+		if err := s.cfg.Journal.Submitted(job.ID, job.submitted, task.Problem(), source); err != nil {
 			s.mu.Unlock()
 			cancel()
 			return nil, err
@@ -243,6 +236,9 @@ func (s *Scheduler) enqueue(id string, submitted time.Time, in *cimsa.Instance, 
 	// eager worker run Queued.Add(-1) first and the gauge goes negative.
 	s.Metrics.Submitted.Add(1)
 	s.Metrics.Queued.Add(1)
+	pm := s.Metrics.Problem(task.Problem())
+	pm.Submitted.Add(1)
+	pm.Queued.Add(1)
 	s.queue <- job
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
@@ -304,6 +300,9 @@ func (s *Scheduler) Cancel(id string) bool {
 	job.mu.Unlock()
 	s.Metrics.Queued.Add(-1)
 	s.Metrics.Canceled.Add(1)
+	pm := s.Metrics.Problem(job.task.Problem())
+	pm.Queued.Add(-1)
+	pm.Canceled.Add(1)
 	job.publish("canceled", nil, 0, "")
 	// Retire before signalling done: an observer of Done() may rely on
 	// the durable footprint (journal record, checkpoints) being gone.
@@ -365,29 +364,30 @@ func (s *Scheduler) run(job *Job) {
 	job.state = StateRunning
 	job.started = s.cfg.Now()
 	job.mu.Unlock()
+	pm := s.Metrics.Problem(job.task.Problem())
 	s.Metrics.Queued.Add(-1)
 	s.Metrics.Running.Add(1)
+	pm.Queued.Add(-1)
+	pm.Running.Add(1)
 
-	opts := job.opts
-	opts.Progress = func(ev cimsa.ProgressEvent) {
-		pe := ev
-		job.publish("progress", &pe, 0, "")
+	run := problem.Run{
+		Progress: func(ev problem.Progress) {
+			pe := ev
+			job.publish("progress", &pe, 0, "")
+		},
 	}
 	if s.cfg.CheckpointDir != "" {
-		opts.Checkpoint = cimsa.Checkpoint{
-			Dir:         s.jobCheckpointDir(job.ID),
-			EveryEpochs: s.cfg.CheckpointEvery,
-			Resume:      true,
-			OnWrite:     func(string) { s.Metrics.CheckpointsWritten.Add(1) },
-			OnResume: func(path string) {
-				s.Metrics.Resumes.Add(1)
-				s.cfg.Logf("job %s: resuming from checkpoint %s", job.ID, path)
-			},
+		run.CheckpointDir = s.jobCheckpointDir(job.ID)
+		run.CheckpointEvery = s.cfg.CheckpointEvery
+		run.OnCheckpointWrite = func(string) { s.Metrics.CheckpointsWritten.Add(1) }
+		run.OnCheckpointResume = func(path string) {
+			s.Metrics.Resumes.Add(1)
+			s.cfg.Logf("job %s: resuming from checkpoint %s", job.ID, path)
 		}
 	}
 	start := s.cfg.Now()
-	rep, err := s.cfg.Solve(job.ctx, job.in, opts)
-	if err != nil && opts.Checkpoint.Dir != "" &&
+	res, err := s.cfg.Solve(job.ctx, job.task, run)
+	if err != nil && run.CheckpointDir != "" &&
 		(errors.Is(err, checkpoint.ErrInvalid) || errors.Is(err, checkpoint.ErrMismatch)) {
 		// The checkpoint this job left behind is unusable (corrupt file,
 		// or the recovered request maps to a different design point).
@@ -395,13 +395,14 @@ func (s *Scheduler) run(job *Job) {
 		// log the diagnostic, discard the directory, solve fresh.
 		s.Metrics.ResumeFailures.Add(1)
 		s.cfg.Logf("job %s: checkpoint rejected, solving fresh: %v", job.ID, err)
-		if rerr := os.RemoveAll(opts.Checkpoint.Dir); rerr != nil {
+		if rerr := os.RemoveAll(run.CheckpointDir); rerr != nil {
 			s.cfg.Logf("job %s: discarding checkpoint: %v", job.ID, rerr)
 		}
-		rep, err = s.cfg.Solve(job.ctx, job.in, opts)
+		res, err = s.cfg.Solve(job.ctx, job.task, run)
 	}
 	elapsed := s.cfg.Now().Sub(start)
 	s.Metrics.Running.Add(-1)
+	pm.Running.Add(-1)
 
 	job.mu.Lock()
 	job.finished = s.cfg.Now()
@@ -409,22 +410,25 @@ func (s *Scheduler) run(job *Job) {
 	switch {
 	case err == nil:
 		job.state = StateDone
-		job.report = rep
+		job.result = res
 		job.mu.Unlock()
 		s.Metrics.Done.Add(1)
-		s.Metrics.ObserveSolve(elapsed.Nanoseconds(), rep.Solver.Iterations)
-		job.publish("done", nil, rep.Length, "")
+		pm.Done.Add(1)
+		s.Metrics.ObserveSolve(elapsed.Nanoseconds(), res.Iterations)
+		job.publish("done", nil, res.Objective, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
 		job.err = err
 		job.mu.Unlock()
 		s.Metrics.Canceled.Add(1)
+		pm.Canceled.Add(1)
 		job.publish("canceled", nil, 0, "")
 	default:
 		job.state = StateFailed
 		job.err = err
 		job.mu.Unlock()
 		s.Metrics.Failed.Add(1)
+		pm.Failed.Add(1)
 		job.publish("failed", nil, 0, err.Error())
 	}
 	// A cancelled job is terminal from the client's point of view (the

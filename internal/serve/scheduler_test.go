@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/problem"
+	"cimsa/internal/problem/tspprob"
 )
 
 // fakeClock is an injectable time source for TTL tests.
@@ -51,17 +53,17 @@ func newStubSolver() *stubSolver {
 	return &stubSolver{started: make(chan string, 16), release: make(chan struct{})}
 }
 
-func (st *stubSolver) solve(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+func (st *stubSolver) solve(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
 	st.mu.Lock()
-	st.runs = append(st.runs, in.Name)
+	st.runs = append(st.runs, task.Label())
 	st.mu.Unlock()
-	st.started <- in.Name
+	st.started <- task.Label()
 	select {
 	case <-st.release:
-		if opts.Progress != nil {
-			opts.Progress(cimsa.ProgressEvent{Levels: 1, Iters: 400, Iter: 400, Clusters: 3})
+		if run.Progress != nil {
+			run.Progress(problem.Progress{Levels: 1, Iters: 400, Iter: 400, Clusters: 3})
 		}
-		return &cimsa.Report{Instance: in.Name, N: in.N(), Length: 42}, nil
+		return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size(), Objective: 42}, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -78,9 +80,9 @@ func (st *stubSolver) ran(name string) bool {
 	return false
 }
 
-func testInstance(t *testing.T, name string) *cimsa.Instance {
+func testTask(t *testing.T, name string) problem.Task {
 	t.Helper()
-	return cimsa.GenerateInstance(name, 10, 1)
+	return tspprob.New(cimsa.GenerateInstance(name, 10, 1), cimsa.Options{})
 }
 
 func waitStarted(t *testing.T, st *stubSolver, want string) {
@@ -129,16 +131,16 @@ func TestQueueFullBackpressure(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 1)
 
-	a, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	a, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, st, "a") // a occupies the single slot
-	b, err := s.Submit(testInstance(t, "b"), cimsa.Options{})
+	b, err := s.Submit(testTask(t, "b"))
 	if err != nil {
 		t.Fatal(err) // b fills the single queue position
 	}
-	if _, err := s.Submit(testInstance(t, "c"), cimsa.Options{}); !errors.Is(err, ErrQueueFull) {
+	if _, err := s.Submit(testTask(t, "c")); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submission: want ErrQueueFull, got %v", err)
 	}
 	if got := s.Metrics.Rejected.Load(); got != 1 {
@@ -160,12 +162,12 @@ func TestCancelWhileQueued(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
 
-	a, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	a, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, st, "a")
-	b, err := s.Submit(testInstance(t, "b"), cimsa.Options{})
+	b, err := s.Submit(testTask(t, "b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestCancelWhileQueued(t *testing.T) {
 	if got := b.Status().State; got != StateCanceled {
 		t.Fatalf("state %s, want canceled", got)
 	}
-	c, err := s.Submit(testInstance(t, "c"), cimsa.Options{})
+	c, err := s.Submit(testTask(t, "c"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,12 +204,12 @@ func TestCancelWhileRunningFreesSlot(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
 
-	a, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	a, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, st, "a")
-	b, err := s.Submit(testInstance(t, "b"), cimsa.Options{})
+	b, err := s.Submit(testTask(t, "b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +238,7 @@ func TestResultTTLExpiry(t *testing.T) {
 	clk := newFakeClock()
 	s := newTestScheduler(t, st, clk, 1, 4)
 
-	job, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	job, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,12 +265,12 @@ func TestShutdownDrains(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
 
-	a, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	a, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStarted(t, st, "a")
-	b, err := s.Submit(testInstance(t, "b"), cimsa.Options{})
+	b, err := s.Submit(testTask(t, "b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +284,7 @@ func TestShutdownDrains(t *testing.T) {
 	// Shutdown must refuse new work while draining.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, err := s.Submit(testInstance(t, "late"), cimsa.Options{})
+		_, err := s.Submit(testTask(t, "late"))
 		if errors.Is(err, ErrShuttingDown) {
 			break
 		}
@@ -311,7 +313,7 @@ func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
 
-	a, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	a, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +333,7 @@ func TestSubscribeReplayAfterCompletion(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
 
-	job, err := s.Submit(testInstance(t, "a"), cimsa.Options{})
+	job, err := s.Submit(testTask(t, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +366,7 @@ func TestSubscribeReplayAfterCompletion(t *testing.T) {
 func TestSubmitRejectsInvalidOptions(t *testing.T) {
 	st := newStubSolver()
 	s := newTestScheduler(t, st, nil, 1, 4)
-	if _, err := s.Submit(testInstance(t, "a"), cimsa.Options{PMax: 99}); err == nil ||
+	if _, err := s.Submit(tspprob.New(cimsa.GenerateInstance("a", 10, 1), cimsa.Options{PMax: 99})); err == nil ||
 		!strings.Contains(err.Error(), "PMax") {
 		t.Fatalf("invalid options: got %v", err)
 	}

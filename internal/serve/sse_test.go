@@ -10,22 +10,22 @@ import (
 	"testing"
 	"time"
 
-	"cimsa"
+	"cimsa/internal/problem"
 )
 
 // scriptedProgressSolver emits a fixed number of progress events and
 // then succeeds — enough events to overflow a small replay buffer.
 func scriptedProgressSolver(events int) SolveFunc {
-	return func(ctx context.Context, in *cimsa.Instance, opts cimsa.Options) (*cimsa.Report, error) {
+	return func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
 		for i := 1; i <= events; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if opts.Progress != nil {
-				opts.Progress(cimsa.ProgressEvent{Levels: 1, Iters: events * 50, Iter: i * 50, Clusters: 3})
+			if run.Progress != nil {
+				run.Progress(problem.Progress{Levels: 1, Iters: events * 50, Iter: i * 50, Clusters: 3})
 			}
 		}
-		return &cimsa.Report{Instance: in.Name, N: in.N(), Length: 7}, nil
+		return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size(), Objective: 7}, nil
 	}
 }
 
