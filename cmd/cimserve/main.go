@@ -31,11 +31,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 	"time"
 
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
 	"cimsa/internal/serve"
 )
@@ -56,6 +58,9 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before solves are cancelled")
 		stateDir    = flag.String("state-dir", "", "persist jobs and solver checkpoints here; on boot, interrupted jobs are re-enqueued and resume mid-solve")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "with -state-dir: write one solver snapshot per this many write-back epochs")
+		tenantsCfg  = flag.String("tenants-config", "", "JSON file of per-tenant fair-scheduling weights and quotas (see README); absent means one unlimited lane per tenant")
+		cacheEntr   = flag.Int("cache-entries", 0, "result-cache capacity in entries; with -cache-bytes both 0, caching is off")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "result-cache capacity in marshalled bytes; 0 = no byte bound")
 	)
 	flag.Parse()
 
@@ -64,7 +69,24 @@ func main() {
 		QueueDepth:    *queue,
 		ResultTTL:     *ttl,
 		ReplayBuffer:  *replay,
+		CacheEntries:  *cacheEntr,
+		CacheBytes:    *cacheBytes,
 		Logf:          log.Printf,
+	}
+	if *tenantsCfg != "" {
+		data, err := os.ReadFile(*tenantsCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc, err := fairsched.ParseConfig(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tenants = tc
+		log.Printf("tenant policies loaded from %s (%d explicit tenant(s))", *tenantsCfg, len(tc.Tenants))
+	}
+	if *cacheEntr > 0 || *cacheBytes > 0 {
+		log.Printf("result cache on (%d entries, %d bytes)", *cacheEntr, *cacheBytes)
 	}
 	var recovered []serve.JournalEntry
 	if *stateDir != "" {

@@ -1,0 +1,488 @@
+// Package fairsched is the tenant-aware admission and dispatch layer
+// for the solve service. It replaces a single FIFO with per-tenant
+// lanes scheduled by deficit round-robin (DRR) weighted fair queueing,
+// so one tenant's burst cannot starve another's jobs, plus per-tenant
+// admission quotas: a queued-jobs cap, a running-jobs cap, and a
+// token-bucket submit-rate limit.
+//
+// The queue is generic over the queued item type so it can be tested
+// in isolation; the serve package instantiates it with *serve.Job.
+// All methods are safe for concurrent use.
+package fairsched
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the lane used for requests that carry no tenant
+// identity, and the fold-back lane for tenants beyond the MaxTenants
+// budget.
+const DefaultTenant = "default"
+
+var (
+	// ErrClosed is returned by Admit once the queue has been closed.
+	ErrClosed = errors.New("fairsched: queue closed")
+	// ErrQueueFull means the global queued-jobs budget is exhausted.
+	ErrQueueFull = errors.New("fairsched: queue full")
+	// ErrTenantQueueFull means the tenant's own max_queued quota is
+	// exhausted (the global queue may still have room).
+	ErrTenantQueueFull = errors.New("fairsched: tenant queue full")
+	// ErrRateLimited is the sentinel wrapped by RateLimitError, so
+	// callers can errors.Is without caring about the retry hint.
+	ErrRateLimited = errors.New("fairsched: tenant rate limited")
+)
+
+// RateLimitError reports a token-bucket rejection and how long until
+// the bucket holds a whole token again.
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("fairsched: tenant %q rate limited (retry in %s)", e.Tenant, e.RetryAfter)
+}
+
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
+// Policy is one tenant's scheduling share and admission quota. The
+// zero value means: weight 1, no queued cap, no running cap, no rate
+// limit.
+type Policy struct {
+	// Weight is the tenant's DRR share: a lane with weight w dispatches
+	// up to w jobs per scheduler round while other lanes wait their
+	// turn. 0 means 1.
+	Weight int `json:"weight,omitempty"`
+	// MaxQueued caps the tenant's queued (not yet dispatched) jobs;
+	// submits beyond it are rejected with ErrTenantQueueFull. 0 means
+	// unlimited.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning caps the tenant's concurrently running jobs; the lane
+	// is skipped (not drained) while at the cap. 0 means unlimited.
+	MaxRunning int `json:"max_running,omitempty"`
+	// RatePerSec refills the tenant's token bucket at this rate; each
+	// accepted submit consumes one token. 0 disables rate limiting.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity. 0 with a rate set defaults to
+	// ceil(RatePerSec), minimum 1.
+	Burst int `json:"burst,omitempty"`
+}
+
+// maxWeight bounds configured weights so a single lane cannot earn an
+// effectively infinite deficit.
+const maxWeight = 1 << 20
+
+func (p Policy) withDefaults() Policy {
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	if p.RatePerSec > 0 && p.Burst <= 0 {
+		p.Burst = int(math.Ceil(p.RatePerSec))
+		if p.Burst < 1 {
+			p.Burst = 1
+		}
+	}
+	return p
+}
+
+func (p Policy) validate(name string) error {
+	if p.Weight < 0 || p.MaxQueued < 0 || p.MaxRunning < 0 || p.Burst < 0 {
+		return fmt.Errorf("fairsched: tenant %q: policy fields must be >= 0", name)
+	}
+	if p.Weight > maxWeight {
+		return fmt.Errorf("fairsched: tenant %q: weight %d exceeds max %d", name, p.Weight, maxWeight)
+	}
+	if math.IsNaN(p.RatePerSec) || math.IsInf(p.RatePerSec, 0) || p.RatePerSec < 0 {
+		return fmt.Errorf("fairsched: tenant %q: rate_per_sec must be finite and >= 0", name)
+	}
+	return nil
+}
+
+// Config describes the tenant universe. The zero value gives every
+// tenant (including the default one) an unlimited, weight-1 policy —
+// behaviourally a plain FIFO.
+type Config struct {
+	// Default is the policy for tenants with no explicit entry.
+	Default Policy
+	// Tenants maps tenant name to its explicit policy.
+	Tenants map[string]Policy
+	// MaxTenants bounds how many distinct dynamic lanes (tenants not in
+	// Tenants) may exist; names beyond the budget fold into the default
+	// lane so hostile header churn cannot grow memory without bound.
+	// 0 means 1024.
+	MaxTenants int
+	// MaxQueuedTotal caps queued jobs across all lanes (the global
+	// queue depth). 0 means unlimited.
+	MaxQueuedTotal int
+	// Now is the clock used by the token buckets; nil means time.Now.
+	Now func() time.Time
+}
+
+// PolicyFor returns the effective (defaulted) policy for a tenant.
+func (c Config) PolicyFor(name string) Policy {
+	if p, ok := c.Tenants[name]; ok {
+		return p.withDefaults()
+	}
+	return c.Default.withDefaults()
+}
+
+// ParseConfig decodes and validates a tenants-config JSON document:
+//
+//	{
+//	  "default": {"weight": 1, "rate_per_sec": 10},
+//	  "tenants": {
+//	    "acme": {"weight": 4, "max_queued": 32, "max_running": 2},
+//	    "batch": {"weight": 1, "rate_per_sec": 0.5, "burst": 4}
+//	  },
+//	  "max_tenants": 1000
+//	}
+//
+// Unknown fields, invalid tenant names, negative or non-finite policy
+// values, and trailing garbage are all rejected.
+func ParseConfig(data []byte) (Config, error) {
+	var fc struct {
+		Default    *Policy           `json:"default"`
+		Tenants    map[string]Policy `json:"tenants"`
+		MaxTenants int               `json:"max_tenants"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("fairsched: parse tenants config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, errors.New("fairsched: trailing data after tenants config")
+	}
+	var cfg Config
+	if fc.Default != nil {
+		if err := fc.Default.validate("default"); err != nil {
+			return Config{}, err
+		}
+		cfg.Default = *fc.Default
+	}
+	if fc.MaxTenants < 0 {
+		return Config{}, errors.New("fairsched: max_tenants must be >= 0")
+	}
+	cfg.MaxTenants = fc.MaxTenants
+	if len(fc.Tenants) > 0 {
+		cfg.Tenants = make(map[string]Policy, len(fc.Tenants))
+		for name, pol := range fc.Tenants {
+			if !ValidName(name) {
+				return Config{}, fmt.Errorf("fairsched: invalid tenant name %q", name)
+			}
+			if err := pol.validate(name); err != nil {
+				return Config{}, err
+			}
+			cfg.Tenants[name] = pol
+		}
+	}
+	return cfg, nil
+}
+
+// ValidName reports whether s is an acceptable tenant identifier:
+// 1..64 bytes of [A-Za-z0-9._-].
+func ValidName(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lane is one tenant's FIFO plus its DRR and quota state.
+type lane[T any] struct {
+	name    string
+	pol     Policy
+	q       []T
+	deficit float64 // DRR credit; one unit per dispatched job
+	running int     // jobs popped but not yet released
+	tokens  float64 // rate-limit bucket
+	last    time.Time
+	inRing  bool
+}
+
+func (l *lane[T]) refill(now time.Time) {
+	el := now.Sub(l.last).Seconds()
+	if el > 0 {
+		l.tokens = math.Min(float64(l.pol.Burst), l.tokens+el*l.pol.RatePerSec)
+	}
+	l.last = now
+}
+
+// Queue is a DRR weighted-fair queue over per-tenant lanes.
+//
+// The serve scheduler calls Admit under its own submit lock, then Push
+// once the job is journaled and its gauges are up; workers block in
+// Pop and pair every successful Pop with exactly one Release when the
+// slot frees. Cancelled-while-queued jobs are pulled out with Remove
+// so a lane at its running cap cannot clog dispatch with corpses.
+type Queue[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cfg     Config
+	lanes   map[string]*lane[T]
+	ring    []*lane[T] // lanes with queued jobs, in DRR order
+	total   int        // queued items across all lanes
+	dynamic int        // lanes created beyond the configured set
+	closed  bool
+}
+
+// New builds a queue with one lane per configured tenant plus the
+// default lane; unknown tenants get lanes on first use (bounded by
+// MaxTenants).
+func New[T any](cfg Config) *Queue[T] {
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	q := &Queue[T]{cfg: cfg, lanes: make(map[string]*lane[T])}
+	q.cond = sync.NewCond(&q.mu)
+	q.addLane(DefaultTenant, cfg.PolicyFor(DefaultTenant))
+	for name := range cfg.Tenants {
+		if name != DefaultTenant {
+			q.addLane(name, cfg.PolicyFor(name))
+		}
+	}
+	return q
+}
+
+func (q *Queue[T]) addLane(name string, pol Policy) *lane[T] {
+	l := &lane[T]{name: name, pol: pol, last: q.cfg.Now()}
+	l.tokens = float64(pol.Burst) // start with a full bucket
+	q.lanes[name] = l
+	return l
+}
+
+// laneFor resolves a tenant name to its lane, creating a dynamic lane
+// under the default policy when there is budget and folding into the
+// default lane otherwise. Callers hold q.mu.
+func (q *Queue[T]) laneFor(name string) *lane[T] {
+	if name == "" {
+		name = DefaultTenant
+	}
+	if l, ok := q.lanes[name]; ok {
+		return l
+	}
+	if !ValidName(name) || q.dynamic >= q.cfg.MaxTenants {
+		return q.lanes[DefaultTenant]
+	}
+	q.dynamic++
+	return q.addLane(name, q.cfg.Default.withDefaults())
+}
+
+// Canonical resolves a request's tenant identity to the lane name it
+// will be scheduled (and accounted) under: empty means DefaultTenant,
+// and names beyond the lane budget fold into the default lane.
+func (q *Queue[T]) Canonical(name string) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.laneFor(name).name
+}
+
+// Admit checks the tenant's quotas and consumes a rate token without
+// enqueueing anything, so the caller can order its own bookkeeping
+// (journal write, gauge increments) between admission and Push.
+// Returns nil, ErrClosed, ErrTenantQueueFull, ErrQueueFull, or a
+// *RateLimitError.
+func (q *Queue[T]) Admit(name string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	l := q.laneFor(name)
+	if l.pol.MaxQueued > 0 && len(l.q) >= l.pol.MaxQueued {
+		return fmt.Errorf("%w: tenant %q at max_queued %d", ErrTenantQueueFull, l.name, l.pol.MaxQueued)
+	}
+	if q.cfg.MaxQueuedTotal > 0 && q.total >= q.cfg.MaxQueuedTotal {
+		return ErrQueueFull
+	}
+	if l.pol.RatePerSec > 0 {
+		l.refill(q.cfg.Now())
+		if l.tokens < 1 {
+			need := (1 - l.tokens) / l.pol.RatePerSec
+			return &RateLimitError{Tenant: l.name, RetryAfter: time.Duration(need * float64(time.Second))}
+		}
+		l.tokens--
+	}
+	return nil
+}
+
+// Push appends v to the tenant's lane and wakes a waiting Pop. It
+// bypasses Admit's quotas deliberately: requeues (a coalesced waiter
+// whose leader aborted) must never be re-charged or rejected. Returns
+// false if the queue is closed.
+func (q *Queue[T]) Push(name string, v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	l := q.laneFor(name)
+	l.q = append(l.q, v)
+	q.total++
+	if !l.inRing {
+		l.inRing = true
+		l.deficit = 0
+		q.ring = append(q.ring, l)
+	}
+	q.cond.Broadcast()
+	return true
+}
+
+// Pop blocks until a job is dispatchable under DRR order and the
+// per-tenant running caps, or until the queue is closed and drained
+// (then ok is false). Each successful Pop must be paired with exactly
+// one Release for the same tenant.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if l := q.nextLane(); l != nil {
+			v = l.q[0]
+			var zero T
+			l.q[0] = zero // let the item be collected once dispatched
+			l.q = l.q[1:]
+			q.total--
+			l.running++
+			l.deficit--
+			if len(l.q) == 0 {
+				q.dropFromRing(l)
+			} else if l.deficit < 1 {
+				q.rotate()
+			}
+			return v, true
+		}
+		if q.closed && q.total == 0 {
+			var zero T
+			return zero, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// nextLane returns the lane that may dispatch next under DRR: lanes at
+// their running cap rotate to the back; the front lane earns its
+// weight in deficit when it has none. Returns nil when every queued
+// lane is capped (or the ring is empty).
+func (q *Queue[T]) nextLane() *lane[T] {
+	for i := 0; i < len(q.ring); i++ {
+		l := q.ring[0]
+		if l.pol.MaxRunning > 0 && l.running >= l.pol.MaxRunning {
+			q.rotate()
+			continue
+		}
+		if l.deficit < 1 {
+			l.deficit += float64(l.pol.Weight)
+		}
+		return l
+	}
+	return nil
+}
+
+func (q *Queue[T]) rotate() {
+	if len(q.ring) > 1 {
+		q.ring = append(q.ring[1:], q.ring[0])
+	}
+}
+
+func (q *Queue[T]) dropFromRing(l *lane[T]) {
+	for i, r := range q.ring {
+		if r == l {
+			q.ring = append(q.ring[:i], q.ring[i+1:]...)
+			break
+		}
+	}
+	l.inRing = false
+	l.deficit = 0
+}
+
+// Release returns a running slot to the tenant's lane. Workers call
+// it when a popped job finishes (or turns out to be already terminal).
+func (q *Queue[T]) Release(name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l, ok := q.lanes[name]; ok && l.running > 0 {
+		l.running--
+	}
+	q.cond.Broadcast()
+}
+
+// Remove deletes the first queued item in name's lane for which match
+// returns true, so cancelled jobs stop occupying quota and cannot clog
+// a running-capped lane. Returns false if no queued item matched (the
+// job was already popped, or never queued here).
+func (q *Queue[T]) Remove(name string, match func(T) bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l, ok := q.lanes[name]
+	if !ok {
+		return false
+	}
+	for i := range l.q {
+		if match(l.q[i]) {
+			l.q = append(l.q[:i], l.q[i+1:]...)
+			q.total--
+			if len(l.q) == 0 {
+				q.dropFromRing(l)
+			}
+			q.cond.Broadcast() // a closed queue may now be fully drained
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops admission; Pop drains what is already queued and then
+// reports ok=false to every waiter.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len reports the queued items across all lanes.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// Queued reports the queued items in one tenant's lane.
+func (q *Queue[T]) Queued(name string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l, ok := q.lanes[name]; ok {
+		return len(l.q)
+	}
+	return 0
+}
+
+// Running reports the popped-but-not-released count for one tenant.
+func (q *Queue[T]) Running(name string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l, ok := q.lanes[name]; ok {
+		return l.running
+	}
+	return 0
+}

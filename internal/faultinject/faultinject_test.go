@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
 	"cimsa/internal/problem/tspprob"
 	"cimsa/internal/serve"
@@ -142,7 +143,7 @@ func TestShutdownWhileDraining(t *testing.T) {
 		sc := fixedSchedule(106, 2, 6, 8, nil)
 		h := NewHarness(t, sc)
 		for i := 0; i < 6; i++ {
-			h.submit()
+			h.submit(i)
 		}
 		h.ShutdownDrain(true)
 		for _, tj := range h.jobs {
@@ -156,7 +157,7 @@ func TestShutdownWhileDraining(t *testing.T) {
 		sc := fixedSchedule(107, 1, 6, 8, nil)
 		h := NewHarness(t, sc)
 		for i := 0; i < 5; i++ {
-			h.submit()
+			h.submit(i)
 		}
 		h.syncStarted() // let the slot fill so real running work is aborted
 		h.ShutdownDrain(false)
@@ -220,6 +221,85 @@ func TestMixedProblemGaugeConservation(t *testing.T) {
 	}
 }
 
+// Tenant storms against quotas: concurrent multi-tenant submissions
+// race their own cancels while per-tenant queue/running caps reject
+// some of them, and a duplicate rides the result cache mid-churn. At
+// every quiesce point conservation must hold per tenant as well as per
+// problem and globally — quotas partition the rejections, lanes
+// partition the traffic.
+func TestTenantQuotaStormConservation(t *testing.T) {
+	sc := Schedule{
+		Seed: 201, Slots: 2, Depth: 6, Replay: 8,
+		Tenants: []string{"acme", "batch", ""},
+		Policies: map[string]fairsched.Policy{
+			"acme":  {Weight: 3, MaxQueued: 2},
+			"batch": {Weight: 1, MaxRunning: 1},
+		},
+		CacheEntries: 256,
+		Ops: []Op{
+			{Kind: OpStorm, Arg: 3},
+			{Kind: OpQuiesce},
+			{Kind: OpSubmit, Arg: 0}, {Kind: OpSubmit, Arg: 1}, {Kind: OpSubmit, Arg: 2},
+			{Kind: OpBurst},
+			{Kind: OpQuiesce},
+			{Kind: OpComplete, Arg: 0},
+			{Kind: OpDupSubmit, Arg: 0},
+			{Kind: OpQuiesce},
+			{Kind: OpStorm, Arg: 5},
+			{Kind: OpQuiesce},
+			{Kind: OpComplete, Arg: 0},
+			{Kind: OpQuiesce},
+		},
+	}
+	h := NewHarness(t, sc)
+	for i, op := range sc.Ops {
+		h.step(i, op)
+	}
+	if h.rejected == 0 {
+		t.Fatal("quota schedule produced no rejections; caps not exercised")
+	}
+	h.Finish()
+}
+
+// A duplicate of a completed job must settle straight from the cache:
+// Done, marked Cached, result pointer-identical to the original's, one
+// hit per duplicate — and the solver never sees a second run.
+func TestCachedDuplicateSettles(t *testing.T) {
+	sc := Schedule{
+		Seed: 202, Slots: 1, Depth: 4, Replay: 8, CacheEntries: 64,
+		Ops: []Op{
+			{Kind: OpSubmit},
+			{Kind: OpProgress, Arg: 0},
+			{Kind: OpComplete, Arg: 0},
+			{Kind: OpQuiesce},
+			{Kind: OpDupSubmit, Arg: 0},
+			{Kind: OpQuiesce},
+			{Kind: OpDupSubmit, Arg: 1},
+			{Kind: OpQuiesce},
+		},
+	}
+	h := NewHarness(t, sc)
+	for i, op := range sc.Ops {
+		h.step(i, op)
+	}
+	if len(h.dups) != 2 {
+		t.Fatalf("expected 2 tracked duplicates, have %d", len(h.dups))
+	}
+	for _, d := range h.dups {
+		st := d.job.Status()
+		if st.State != serve.StateDone || !st.Cached {
+			t.Fatalf("duplicate state %s cached=%v, want done from cache", st.State, st.Cached)
+		}
+		if d.job.Result() != d.dupOf.job.Result() {
+			t.Fatal("duplicate result is not the cached original")
+		}
+	}
+	if hits := h.sched.Metrics.CacheHits.Load(); hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", hits)
+	}
+	h.Finish()
+}
+
 // TestSeededScheduleMatrix runs generated schedules for a fixed seed
 // batch; CI and local runs can extend the matrix with a comma-separated
 // FAULTINJECT_SEEDS. Any failure prints its seed, and rerunning with
@@ -242,6 +322,56 @@ func TestSeededScheduleMatrix(t *testing.T) {
 			t.Parallel()
 			RunSchedule(t, GenSchedule(seed))
 		})
+	}
+}
+
+// TestTenantSeededMatrix runs generated multi-tenant, cache-enabled
+// schedules; CI extends the matrix with a comma-separated
+// FAULTINJECT_TENANT_SEEDS. Failures replay by seed, exactly like the
+// untenanted matrix.
+func TestTenantSeededMatrix(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	if env := os.Getenv("FAULTINJECT_TENANT_SEEDS"); env != "" {
+		seeds = nil
+		for _, f := range strings.Split(env, ",") {
+			s, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("FAULTINJECT_TENANT_SEEDS entry %q: %v", f, err)
+			}
+			seeds = append(seeds, s)
+		}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			RunSchedule(t, GenTenantSchedule(seed))
+		})
+	}
+}
+
+// TestGenTenantScheduleDeterministic pins seed replay for the tenant
+// generator too, policies included.
+func TestGenTenantScheduleDeterministic(t *testing.T) {
+	a, b := GenTenantSchedule(42), GenTenantSchedule(42)
+	if a.Slots != b.Slots || a.Depth != b.Depth || a.Replay != b.Replay ||
+		len(a.Tenants) != len(b.Tenants) || len(a.Ops) != len(b.Ops) {
+		t.Fatalf("schedule dimensions diverge: %+v vs %+v", a, b)
+	}
+	for i := range a.Tenants {
+		if a.Tenants[i] != b.Tenants[i] {
+			t.Fatalf("tenant pool diverges at %d: %q vs %q", i, a.Tenants[i], b.Tenants[i])
+		}
+	}
+	for name, pa := range a.Policies {
+		if pb, ok := b.Policies[name]; !ok || pa != pb {
+			t.Fatalf("policy %q diverges: %+v vs %+v", name, pa, b.Policies[name])
+		}
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d diverges: %+v vs %+v", i, a.Ops[i], b.Ops[i])
+		}
 	}
 }
 

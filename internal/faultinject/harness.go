@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cimsa"
+	"cimsa/internal/fairsched"
 	"cimsa/internal/maxcut"
 	"cimsa/internal/problem"
 	"cimsa/internal/problem/isingprob"
@@ -164,13 +165,20 @@ const (
 
 // trackedJob pairs a scheduler job with the harness's bookkeeping.
 type trackedJob struct {
-	name     string
-	problem  string
-	job      *serve.Job
-	cmds     chan command // nil until the start signal is consumed
-	phase    jobPhase
-	canceled bool // a cancel was issued at some point
-	swept    bool // removed from the scheduler by a TTL sweep
+	name    string
+	problem string
+	tenant  string // canonical lane (serve.Job.Tenant)
+	kind    int    // makeTask kind, so a dup rebuilds the identical task
+	job     *serve.Job
+	cmds    chan command // nil until the start signal is consumed
+	phase   jobPhase
+	// expectCached marks a duplicate submission of an already-completed
+	// job: it must settle from the result cache, producing no solver
+	// start signal, so the harness waits on Done instead.
+	expectCached bool
+	dupOf        *trackedJob // the completed job this duplicate repeats
+	canceled     bool        // a cancel was issued at some point
+	swept        bool        // removed from the scheduler by a TTL sweep
 }
 
 // slowSub is a deliberately stalled subscriber: it never reads until
@@ -193,6 +201,15 @@ type Harness struct {
 	byName   map[string]*trackedJob
 	rejected int
 	nextID   int
+
+	// Tenant-schedule state: the identity pool scripted submissions draw
+	// from ("" = no header → default lane), per-tenant rejection ground
+	// truth, and the duplicate submissions that must settle from the
+	// result cache.
+	tenantPool     []string
+	tenantRejected map[string]int
+	cacheOn        bool
+	dups           []*trackedJob
 
 	auditors []*StreamAuditor
 	slows    []slowSub
@@ -224,13 +241,18 @@ func NewHarness(t *testing.T, sc Schedule) *Harness {
 		SweepEvery:    time.Hour, // sweeps are scripted via Scheduler.Sweep
 		Solve:         solver.Solve,
 		Now:           clock.Now,
+		Tenants:       fairsched.Config{Tenants: sc.Policies, Now: clock.Now},
+		CacheEntries:  sc.CacheEntries,
 	}
 	h := &Harness{
 		t: t, solver: solver, clock: clock, cfg: cfg, seed: sc.Seed,
-		sched:       serve.NewScheduler(cfg),
-		byName:      map[string]*trackedJob{},
-		samplerStop: make(chan struct{}),
-		samplerDone: make(chan struct{}),
+		sched:          serve.NewScheduler(cfg),
+		byName:         map[string]*trackedJob{},
+		tenantPool:     sc.Tenants,
+		tenantRejected: map[string]int{},
+		cacheOn:        sc.CacheEntries > 0,
+		samplerStop:    make(chan struct{}),
+		samplerDone:    make(chan struct{}),
 	}
 	go h.sampleGauges()
 	return h
@@ -287,26 +309,194 @@ func (h *Harness) logf(format string, args ...any) {
 	h.opLog = append(h.opLog, fmt.Sprintf(format, args...))
 }
 
-// submit admits one scripted job (or records backpressure).
-func (h *Harness) submit() *trackedJob {
+// pickTenant maps a schedule arg onto the tenant pool; with no pool
+// every submission rides the default lane (no X-Tenant header).
+func (h *Harness) pickTenant(arg int) string {
+	if len(h.tenantPool) == 0 {
+		return ""
+	}
+	return h.tenantPool[arg%len(h.tenantPool)]
+}
+
+// canonicalTenant mirrors the scheduler's lane canonicalization for
+// rejection accounting (a rejected submit has no serve.Job to ask).
+func canonicalTenant(name string) string {
+	if name == "" {
+		return fairsched.DefaultTenant
+	}
+	return name
+}
+
+// policyFor returns the effective (defaulted) policy of a lane.
+func (h *Harness) policyFor(tenant string) fairsched.Policy {
+	return h.cfg.Tenants.PolicyFor(tenant)
+}
+
+// noteRejected records one backpressure rejection in both the global
+// and per-tenant ground truth. Every rejection class — global queue
+// full, tenant queue quota, rate limit — lands in the same counters
+// the scheduler's Metrics.Rejected aggregates.
+func (h *Harness) noteRejected(tenant string) {
+	h.rejected++
+	h.tenantRejected[canonicalTenant(tenant)]++
+}
+
+// isRejection reports whether a submit error is expected backpressure
+// (as opposed to a harness bug).
+func isRejection(err error) bool {
+	return errors.Is(err, serve.ErrQueueFull) ||
+		errors.Is(err, serve.ErrTenantQueueFull) ||
+		errors.Is(err, serve.ErrRateLimited)
+}
+
+// submit admits one scripted job (or records backpressure). arg seeds
+// the tenant choice.
+func (h *Harness) submit(arg int) *trackedJob {
 	name := fmt.Sprintf("fi-%04d", h.nextID)
-	task := makeTask(name, h.nextID)
+	kind := h.nextID
+	task := makeTask(name, kind)
 	h.nextID++
-	job, err := h.sched.Submit(task)
+	tenant := h.pickTenant(arg)
+	job, err := h.sched.SubmitTenant(tenant, task)
 	switch {
 	case err == nil:
-		tj := &trackedJob{name: name, problem: task.Problem(), job: job, phase: phaseQueued}
+		tj := &trackedJob{name: name, problem: task.Problem(), tenant: job.Tenant, kind: kind, job: job, phase: phaseQueued}
 		h.jobs = append(h.jobs, tj)
 		h.byName[name] = tj
-		h.logf("submit %s (%s) -> %s", name, task.Problem(), job.ID)
+		h.logf("submit %s (%s, tenant %s) -> %s", name, task.Problem(), job.Tenant, job.ID)
 		return tj
-	case errors.Is(err, serve.ErrQueueFull):
-		h.rejected++
-		h.logf("submit %s -> queue full", name)
+	case isRejection(err):
+		h.noteRejected(tenant)
+		h.logf("submit %s (tenant %s) -> rejected: %v", name, canonicalTenant(tenant), err)
 		return nil
 	default:
 		h.fatalf("submit %s: unexpected error %v", name, err)
 		return nil
+	}
+}
+
+// dupSubmit re-submits the identical task of an already-completed job.
+// With the cache on, the duplicate must settle as a cache hit: Done,
+// Cached, result pointer-identical to the original's — and it never
+// produces a solver start signal. With no eligible original (or cache
+// off) it degrades to a fresh submission.
+func (h *Harness) dupSubmit(arg int) {
+	var elig []*trackedJob
+	if h.cacheOn {
+		for _, tj := range h.jobs {
+			if tj.phase == phaseTerminal && tj.job.Status().State == serve.StateDone {
+				elig = append(elig, tj)
+			}
+		}
+	}
+	if len(elig) == 0 {
+		h.submit(arg)
+		return
+	}
+	orig := elig[arg%len(elig)]
+	task := makeTask(orig.name, orig.kind)
+	tenant := h.pickTenant(arg)
+	job, err := h.sched.SubmitTenant(tenant, task)
+	switch {
+	case err == nil:
+		tj := &trackedJob{
+			name: orig.name, problem: task.Problem(), tenant: job.Tenant,
+			kind: orig.kind, job: job, phase: phaseQueued,
+			expectCached: true, dupOf: orig,
+		}
+		// Deliberately NOT in byName: a duplicate must never announce a
+		// solver start, so noteStarted must keep resolving the original.
+		h.jobs = append(h.jobs, tj)
+		h.dups = append(h.dups, tj)
+		h.logf("dup-submit %s (tenant %s) -> %s", orig.name, job.Tenant, job.ID)
+	case isRejection(err):
+		h.noteRejected(tenant)
+		h.logf("dup-submit %s (tenant %s) -> rejected: %v", orig.name, canonicalTenant(tenant), err)
+	default:
+		h.fatalf("dup-submit %s: unexpected error %v", orig.name, err)
+	}
+}
+
+// settleCached marks duplicates whose cached completion has landed.
+func (h *Harness) settleCached() {
+	for _, tj := range h.jobs {
+		if tj.expectCached && tj.phase == phaseQueued {
+			select {
+			case <-tj.job.Done():
+				tj.phase = phaseTerminal
+			default:
+			}
+		}
+	}
+}
+
+// runningByTenant counts slot occupants per lane (running + finishing:
+// a finishing job still holds its slot until its Done lands).
+func (h *Harness) runningByTenant() map[string]int {
+	out := map[string]int{}
+	for _, tj := range h.jobs {
+		if tj.phase == phaseRunning || tj.phase == phaseFinishing {
+			out[tj.tenant]++
+		}
+	}
+	return out
+}
+
+// promotable reports whether some queued job can legally take a slot:
+// a slot is free AND at least one queued job's lane is under its
+// MaxRunning cap. With per-tenant caps, "queued>0 && running<slots" is
+// no longer enough — every queued job may belong to a capped lane.
+func (h *Harness) promotable() bool {
+	if h.drainedAllSlots() {
+		return false
+	}
+	byTenant := h.runningByTenant()
+	for _, tj := range h.jobs {
+		if tj.phase != phaseQueued {
+			continue
+		}
+		max := h.policyFor(tj.tenant).MaxRunning
+		if max == 0 || byTenant[tj.tenant] < max {
+			return true
+		}
+	}
+	return false
+}
+
+// pendingCached reports whether some duplicate could still settle
+// asynchronously — queued, with a worker free to pop its lane. While
+// this holds, terminal counts are still in motion.
+func (h *Harness) pendingCached() bool {
+	if h.drainedAllSlots() {
+		return false
+	}
+	byTenant := h.runningByTenant()
+	for _, tj := range h.jobs {
+		if !tj.expectCached || tj.phase != phaseQueued {
+			continue
+		}
+		max := h.policyFor(tj.tenant).MaxRunning
+		if max == 0 || byTenant[tj.tenant] < max {
+			return true
+		}
+	}
+	return false
+}
+
+// settleAllCached waits until no duplicate can settle behind the
+// harness's back (used before counting terminal jobs for a sweep).
+func (h *Harness) settleAllCached() {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.syncStarted() // a non-dup promotion may be filling the free slot
+		h.settleCached()
+		if !h.pendingCached() {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.fatalf("cached duplicate never settled")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -417,20 +607,22 @@ func (h *Harness) Quiesce() {
 		h.syncStarted()
 		h.waitFinishing()
 		h.syncStarted()
+		h.settleCached()
 		queued, running := h.countPhases()
-		if queued > 0 && running < h.cfg.MaxConcurrent && !h.drainedAllSlots() {
+		if running < h.cfg.MaxConcurrent && h.promotable() {
 			if time.Now().After(deadline) {
 				h.fatalf("quiesce did not converge (%d queued, %d running)", queued, running)
 			}
-			// A promotion must be in flight; wait for its start signal.
+			// Progress must be in flight: either a promotion (start signal)
+			// or a cached completion (no signal — a duplicate finalizes
+			// straight from the cache). Wait briefly for the former, then
+			// re-evaluate so the latter is picked up by settleCached.
 			select {
 			case sj := <-h.solver.started:
 				h.noteStarted(sj)
-				continue
-			case <-time.After(10 * time.Second):
-				h.fatalf("queued job never promoted (%d queued, %d running, %d slots)",
-					queued, running, h.cfg.MaxConcurrent)
+			case <-time.After(50 * time.Millisecond):
 			}
+			continue
 		}
 		break
 	}
@@ -480,6 +672,8 @@ func (h *Harness) Finish() {
 		}
 	}
 
+	h.checkDups()
+
 	// Every tracked job must now pass the post-terminal stream audit.
 	for _, tj := range h.jobs {
 		AuditTerminalStream(h.t, h.seed, tj.job)
@@ -520,6 +714,36 @@ func (h *Harness) Finish() {
 	}
 	h.checkConservation()
 	h.StopSampler()
+}
+
+// checkDups asserts every duplicate that completed did so from the
+// cache: Cached status, result pointer-identical to the original's
+// (bit-identity is free when it is the same allocation), and the hit
+// counter bracketed by what the harness observed. A duplicate canceled
+// before a worker popped it legitimately never hits.
+func (h *Harness) checkDups() {
+	h.t.Helper()
+	doneCached := 0
+	for _, tj := range h.dups {
+		st := tj.job.Status()
+		if st.State != serve.StateDone {
+			continue // canceled before settling — allowed
+		}
+		if !st.Cached {
+			h.fatalf("dup of %s done but not marked cache-served", tj.name)
+		}
+		if tj.job.Result() != tj.dupOf.job.Result() {
+			h.fatalf("dup of %s: result diverges from the original's", tj.name)
+		}
+		doneCached++
+	}
+	if h.cacheOn {
+		hits := h.sched.Metrics.CacheHits.Load()
+		if hits < int64(doneCached) || hits > int64(len(h.dups)) {
+			h.fatalf("cache hits %d outside [%d done dups, %d dup submits]",
+				hits, doneCached, len(h.dups))
+		}
+	}
 }
 
 // ShutdownDrain exercises shutdown racing live work. Graceful: a

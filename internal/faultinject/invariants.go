@@ -52,6 +52,76 @@ func (h *Harness) checkConservation() {
 		h.fatalf("conservation identity broken: buckets sum to %d, submitted %d", sum, m.Submitted.Load())
 	}
 	h.checkProblemConservation()
+	h.checkTenantConservation()
+}
+
+// checkTenantConservation re-runs the conservation identity on each
+// per-tenant metrics slice: with multi-tenant traffic through one
+// fair scheduler, every lane's labeled counters — including its
+// rejections, which quotas and rate limits now produce per tenant —
+// must balance against the harness's ground truth for that lane alone,
+// and the per-tenant submitted counts must partition the global total.
+func (h *Harness) checkTenantConservation() {
+	h.t.Helper()
+	type bucket struct {
+		submitted, queued, running, done, failed, canceled int
+	}
+	per := map[string]*bucket{}
+	for _, tj := range h.jobs {
+		b := per[tj.tenant]
+		if b == nil {
+			b = &bucket{}
+			per[tj.tenant] = b
+		}
+		b.submitted++
+		switch tj.phase {
+		case phaseQueued:
+			b.queued++
+		case phaseRunning:
+			b.running++
+		case phaseTerminal:
+			switch tj.job.Status().State {
+			case serve.StateDone:
+				b.done++
+			case serve.StateFailed:
+				b.failed++
+			case serve.StateCanceled:
+				b.canceled++
+			}
+		}
+	}
+	// A tenant that only ever got rejected still has a metrics slice.
+	for tenant := range h.tenantRejected {
+		if per[tenant] == nil {
+			per[tenant] = &bucket{}
+		}
+	}
+	m := &h.sched.Metrics
+	var partition int64
+	for name, b := range per {
+		tm := m.Tenant(name)
+		check := func(counter string, got int64, want int) {
+			h.t.Helper()
+			if got != int64(want) {
+				h.fatalf("conservation[tenant %s]: %s = %d, harness ground truth = %d", name, counter, got, want)
+			}
+		}
+		check("submitted", tm.Submitted.Load(), b.submitted)
+		check("rejected", tm.Rejected.Load(), h.tenantRejected[name])
+		check("queued", tm.Queued.Load(), b.queued)
+		check("running", tm.Running.Load(), b.running)
+		check("done", tm.Done.Load(), b.done)
+		check("failed", tm.Failed.Load(), b.failed)
+		check("canceled", tm.Canceled.Load(), b.canceled)
+		sum := tm.Queued.Load() + tm.Running.Load() + tm.Done.Load() + tm.Failed.Load() + tm.Canceled.Load()
+		if sum != tm.Submitted.Load() {
+			h.fatalf("conservation[tenant %s] identity broken: buckets sum to %d, submitted %d", name, sum, tm.Submitted.Load())
+		}
+		partition += tm.Submitted.Load()
+	}
+	if partition != m.Submitted.Load() {
+		h.fatalf("per-tenant submitted counts sum to %d, global submitted %d", partition, m.Submitted.Load())
+	}
 }
 
 // checkProblemConservation re-runs the conservation identity on each

@@ -1,12 +1,12 @@
 package faultinject
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
 	"cimsa/internal/rng"
 	"cimsa/internal/serve"
@@ -41,6 +41,9 @@ const (
 	OpQuiesce
 	// OpStorm races concurrent submissions against their own cancels.
 	OpStorm
+	// OpDupSubmit re-submits the identical task of a completed job; with
+	// the cache on it must settle as a hit (no solver run).
+	OpDupSubmit
 )
 
 func (k OpKind) String() string {
@@ -69,6 +72,8 @@ func (k OpKind) String() string {
 		return "quiesce"
 	case OpStorm:
 		return "storm"
+	case OpDupSubmit:
+		return "dup-submit"
 	}
 	return fmt.Sprintf("op(%d)", int(k))
 }
@@ -88,7 +93,15 @@ type Schedule struct {
 	Slots  int // MaxConcurrent
 	Depth  int // QueueDepth
 	Replay int // ReplayBuffer (small, so eviction paths run)
-	Ops    []Op
+	// Tenants is the identity pool submissions draw from ("" = no
+	// X-Tenant header, i.e. the default lane); empty means untenanted
+	// traffic. Policies is the fairsched quota/weight table.
+	Tenants  []string
+	Policies map[string]fairsched.Policy
+	// CacheEntries > 0 enables the result cache, making OpDupSubmit
+	// exercise the hit path.
+	CacheEntries int
+	Ops          []Op
 }
 
 // GenSchedule expands a seed into a schedule. The op mix is weighted
@@ -138,6 +151,75 @@ func GenSchedule(seed uint64) Schedule {
 	return sc
 }
 
+// GenTenantSchedule expands a seed into a multi-tenant schedule with
+// the result cache on: traffic spreads across a pool of tenant
+// identities (including the headerless default lane), per-tenant
+// weights/quotas/rate limits are active, and duplicate submissions
+// exercise the cache-hit path mid-churn. Conservation is then asserted
+// per tenant as well as per problem and globally.
+func GenTenantSchedule(seed uint64) Schedule {
+	r := rng.New(seed)
+	sc := Schedule{
+		Seed:         seed,
+		Slots:        2 + r.Intn(2),
+		Depth:        6 + r.Intn(7),
+		Replay:       4 + r.Intn(13),
+		CacheEntries: 4096, // never evicts within a schedule: dups must hit
+		Policies:     map[string]fairsched.Policy{},
+	}
+	pool := []string{"acme", "batch", "edge", ""}
+	sc.Tenants = pool[:2+r.Intn(3)]
+	for _, name := range []string{"acme", "batch", "edge"} {
+		pol := fairsched.Policy{Weight: 1 + r.Intn(4)}
+		switch r.Intn(4) {
+		case 0:
+			pol.MaxQueued = 2 + r.Intn(4)
+		case 1:
+			pol.MaxRunning = 1 + r.Intn(2)
+		case 2:
+			// The scripted clock only moves on sweep ops, so the bucket
+			// refills in rare 61s jumps; the burst is what gets spent.
+			pol.RatePerSec = 1
+			pol.Burst = 10 + r.Intn(30)
+		}
+		sc.Policies[name] = pol
+	}
+	n := 70 + r.Intn(51)
+	for i := 0; i < n; i++ {
+		x := r.Intn(100)
+		var k OpKind
+		switch {
+		case x < 22:
+			k = OpSubmit
+		case x < 32:
+			k = OpDupSubmit
+		case x < 42:
+			k = OpCancel
+		case x < 54:
+			k = OpProgress
+		case x < 64:
+			k = OpComplete
+		case x < 69:
+			k = OpFail
+		case x < 73:
+			k = OpBurst
+		case x < 78:
+			k = OpSubscribe
+		case x < 81:
+			k = OpAbandon
+		case x < 84:
+			k = OpClockSweep
+		case x < 94:
+			k = OpQuiesce
+		default:
+			k = OpStorm
+		}
+		sc.Ops = append(sc.Ops, Op{Kind: k, Arg: int(r.Uint64() & 0xffff)})
+	}
+	sc.Ops = append(sc.Ops, Op{Kind: OpQuiesce})
+	return sc
+}
+
 // RunSchedule executes a schedule end to end: every op, then the full
 // drain/audit/shutdown sweep in Finish.
 func RunSchedule(t *testing.T, sc Schedule) {
@@ -155,7 +237,9 @@ func (h *Harness) step(i int, op Op) {
 	h.logf("op %d: %s(%d)", i, op.Kind, op.Arg)
 	switch op.Kind {
 	case OpSubmit:
-		h.submit()
+		h.submit(op.Arg)
+	case OpDupSubmit:
+		h.dupSubmit(op.Arg)
 	case OpCancel:
 		if tj := h.pickJob(op.Arg); tj != nil {
 			h.cancel(tj)
@@ -210,19 +294,22 @@ func (h *Harness) pickJob(arg int) *trackedJob {
 }
 
 // pickRunning selects a job the harness believes is running. If none
-// is running yet but a queued job has a free slot, a promotion is in
-// flight — wait for its start signal instead of silently skipping the
-// scripted command (which would make targeted ops timing-dependent).
+// is running yet but a queued job can legally take a free slot (its
+// lane under any MaxRunning cap), a promotion — or a duplicate's
+// cached completion — is in flight; wait for it instead of silently
+// skipping the scripted command (which would make targeted ops
+// timing-dependent).
 func (h *Harness) pickRunning(arg int) *trackedJob {
 	h.t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(15 * time.Second)
 	for {
 		h.syncStarted()
+		h.settleCached()
 		if r := h.running(); len(r) > 0 {
 			return r[arg%len(r)]
 		}
-		queued, running := h.countPhases()
-		if queued == 0 || running >= h.cfg.MaxConcurrent || h.drainedAllSlots() {
+		_, running := h.countPhases()
+		if running >= h.cfg.MaxConcurrent || !h.promotable() {
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -231,24 +318,26 @@ func (h *Harness) pickRunning(arg int) *trackedJob {
 		select {
 		case sj := <-h.solver.started:
 			h.noteStarted(sj)
-		case <-time.After(10 * time.Second):
-			h.fatalf("promotion start signal never arrived (%d queued, %d running)", queued, running)
+		case <-time.After(50 * time.Millisecond):
+			// A cached completion settles without a start signal;
+			// re-evaluate.
 		}
 	}
 }
 
 // burst submits until backpressure is proven. Accepted submissions are
-// bounded by queue depth plus the slots that can drain concurrently, so
-// Slots+Depth+8 attempts must observe at least one rejection.
+// bounded by queue depth plus the slots that can drain concurrently
+// (and, with tenancy, by per-tenant quotas that reject even sooner),
+// so Slots+Depth+8 attempts must observe at least one rejection.
 func (h *Harness) burst() {
 	h.t.Helper()
 	attempts := h.cfg.MaxConcurrent + h.cfg.QueueDepth + 8
 	before := h.rejected
 	for i := 0; i < attempts; i++ {
-		h.submit()
+		h.submit(i)
 	}
 	if h.rejected == before {
-		h.fatalf("burst of %d submissions saw no queue-full rejection", attempts)
+		h.fatalf("burst of %d submissions saw no backpressure rejection", attempts)
 	}
 }
 
@@ -259,6 +348,10 @@ func (h *Harness) clockSweep() {
 	h.t.Helper()
 	h.syncStarted()
 	h.waitFinishing()
+	// A queued duplicate can finalize asynchronously (a worker pops it
+	// and serves the cache hit); settle those before counting terminals
+	// or the expected removal count would race.
+	h.settleAllCached()
 	expected := 0
 	for _, tj := range h.jobs {
 		if tj.phase == phaseTerminal && !tj.swept {
@@ -292,9 +385,13 @@ func (h *Harness) storm(arg int) {
 	}
 	names := make([]string, g)
 	tasks := make([]problem.Task, g)
+	kinds := make([]int, g)
+	tenants := make([]string, g)
 	for i := range names {
 		names[i] = fmt.Sprintf("fi-%04d", h.nextID)
+		kinds[i] = h.nextID
 		tasks[i] = makeTask(names[i], h.nextID)
+		tenants[i] = h.pickTenant(arg + i)
 		h.nextID++
 	}
 	results := make([]res, g)
@@ -303,12 +400,12 @@ func (h *Harness) storm(arg int) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			job, err := h.sched.Submit(tasks[i])
+			job, err := h.sched.SubmitTenant(tenants[i], tasks[i])
 			switch {
 			case err == nil:
 				h.sched.Cancel(job.ID)
 				results[i] = res{job: job}
-			case errors.Is(err, serve.ErrQueueFull):
+			case isRejection(err):
 				results[i] = res{rejected: true}
 			default:
 				results[i] = res{err: err}
@@ -321,9 +418,9 @@ func (h *Harness) storm(arg int) {
 		case r.err != nil:
 			h.fatalf("storm submit %s: unexpected error %v", names[i], r.err)
 		case r.rejected:
-			h.rejected++
+			h.noteRejected(tenants[i])
 		default:
-			tj := &trackedJob{name: names[i], problem: tasks[i].Problem(), job: r.job, phase: phaseFinishing, canceled: true}
+			tj := &trackedJob{name: names[i], problem: tasks[i].Problem(), tenant: r.job.Tenant, kind: kinds[i], job: r.job, phase: phaseFinishing, canceled: true}
 			h.jobs = append(h.jobs, tj)
 			h.byName[names[i]] = tj
 		}

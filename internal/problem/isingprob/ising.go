@@ -407,6 +407,23 @@ func (t *Task) InstanceHash() string {
 	return h.Sum()
 }
 
+// SolverVersion tags cached Ising/QUBO results; bump it whenever
+// either annealing engine's output for a fixed (model, algorithm,
+// sweeps, seed) changes.
+const SolverVersion = "ising/v1"
+
+// DesignHash folds the run parameters (algorithm, sweeps, seed) plus
+// the solver version; the problem name is already folded by NewHasher,
+// which keeps an ising run and a qubo run over the same model distinct.
+func (t *Task) DesignHash() string {
+	h := problem.NewHasher(t.problem)
+	h.String(SolverVersion)
+	h.String(t.algorithm)
+	h.Int(int64(t.sweeps))
+	h.Uint(t.seed)
+	return h.Sum()
+}
+
 // Validate implements problem.Task.
 func (t *Task) Validate() error { return t.m.Validate() }
 

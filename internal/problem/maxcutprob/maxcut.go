@@ -179,6 +179,20 @@ func (t *Task) InstanceHash() string {
 	return h.Sum()
 }
 
+// SolverVersion tags cached Max-Cut results; bump it whenever the
+// Metropolis engine's output for a fixed (graph, sweeps, seed) changes.
+const SolverVersion = "maxcut/v1"
+
+// DesignHash folds the run parameters (sweeps, seed) plus the solver
+// version — the graph itself lives in InstanceHash.
+func (t *Task) DesignHash() string {
+	h := problem.NewHasher(Name)
+	h.String(SolverVersion)
+	h.Int(int64(t.sweeps))
+	h.Uint(t.seed)
+	return h.Sum()
+}
+
 // Validate implements problem.Task.
 func (t *Task) Validate() error { return t.g.Validate() }
 

@@ -89,6 +89,15 @@ type Task interface {
 	// excludes the solve parameters (seed, sweeps): it identifies the
 	// problem, not the run.
 	InstanceHash() string
+	// DesignHash is a canonical hash of the run: every solve parameter
+	// that can change the result (seed, sweeps, mode, restarts, ...)
+	// plus a per-backend solver-version tag, and nothing else —
+	// execution knobs that are bit-identical by construction (worker
+	// count, parallel mode) are excluded. (InstanceHash, DesignHash)
+	// therefore identifies a solve's output exactly, which is what
+	// makes exact-match result caching correct; bumping a backend's
+	// version tag invalidates its cached results across releases.
+	DesignHash() string
 	// Validate checks the instance and parameters without solving.
 	Validate() error
 	// Solve runs the task. Cancellation via ctx is observed at solver

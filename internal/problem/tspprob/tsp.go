@@ -172,6 +172,34 @@ func (t *Task) InstanceHash() string {
 	return fmt.Sprintf("%s:%016x", Name, checkpoint.InstanceHash(t.in))
 }
 
+// SolverVersion tags cached TSP results; bump it whenever the
+// annealer's output for a fixed (instance, design point, seed) changes,
+// so stale cache entries can never be served across a numerics change.
+const SolverVersion = "tsp/v1"
+
+// DesignHash folds every option that can change the solve's output —
+// and nothing else. Parallel and Workers are deliberately excluded:
+// results are bit-identical at every worker count (enforced by the
+// determinism tests), so they are execution detail, not design.
+func (t *Task) DesignHash() string {
+	h := problem.NewHasher(Name)
+	h.String(SolverVersion)
+	h.Int(int64(t.opts.PMax))
+	h.Uint(t.opts.Seed)
+	h.String(t.opts.Mode)
+	h.Int(int64(t.opts.Restarts))
+	h.Uint(boolBit(t.opts.Reference))
+	h.Uint(boolBit(t.opts.SkipHardware))
+	return h.Sum()
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Validate checks the design point and the instance without solving.
 func (t *Task) Validate() error {
 	if err := t.opts.Validate(); err != nil {

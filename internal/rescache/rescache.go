@@ -1,0 +1,196 @@
+// Package rescache is a bounded, exact-match result cache for the
+// solve service, with single-flight coalescing of concurrent identical
+// submissions.
+//
+// Caching is correct (not approximate) because the solvers behind the
+// service are bit-deterministic: for a fixed (instance hash, design
+// point, seed) the result is byte-identical on every run and at every
+// worker count. The serve layer builds keys from
+// problem.Task.InstanceHash(), problem.Task.DesignHash() (which folds
+// in a per-backend solver-version tag) and the task label, so a hit
+// returns exactly the bytes a fresh solve would have produced, and
+// bumping a backend's version tag invalidates its cached results.
+package rescache
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+
+	"cimsa/internal/problem"
+)
+
+// Role classifies the caller's duty after Acquire.
+type Role int
+
+const (
+	// RoleLeader: no cached entry and no in-flight solve. The caller
+	// must solve and then call exactly one of Complete or Abort.
+	RoleLeader Role = iota
+	// RoleHit: the returned result came straight from the cache.
+	RoleHit
+	// RoleWaiter: an identical solve is in flight; the registered
+	// waiter callback fires exactly once when the leader finishes.
+	RoleWaiter
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleHit:
+		return "hit"
+	case RoleWaiter:
+		return "waiter"
+	default:
+		return "unknown"
+	}
+}
+
+// Waiter receives the leader's result. ok=true carries the completed
+// result; ok=false means the leader aborted (failed or was cancelled)
+// and the waiter must fend for itself (typically requeue). Waiters run
+// outside the cache lock, on the leader's goroutine.
+type Waiter func(res *problem.Result, ok bool)
+
+type entry struct {
+	key  string
+	res  *problem.Result
+	size int64
+}
+
+type flight struct {
+	waiters []Waiter
+}
+
+// Cache is an LRU result cache bounded by entry count and total
+// marshalled bytes, with per-key single-flight coalescing. Results are
+// stored and returned by pointer and must be treated as immutable —
+// the serve layer never mutates a Result after the solve returns.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64 // 0 = unbounded
+	bytes      int64
+	ll         *list.List               // front = most recently used
+	byKey      map[string]*list.Element // value: *entry
+	flights    map[string]*flight
+}
+
+// New builds a cache holding at most maxEntries results (<=0 means
+// 256) and at most maxBytes of marshalled result payload (<=0 means
+// no byte bound).
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
+	}
+}
+
+// Acquire resolves key to a role. RoleHit returns the cached result.
+// RoleWaiter registers w on the in-flight solve. RoleLeader makes the
+// caller responsible for solving key and then calling Complete or
+// Abort — without that call, later identical submissions would wait
+// forever, so the serve layer pairs it in a defer-like path on every
+// exit.
+func (c *Cache) Acquire(key string, w Waiter) (*problem.Result, Role) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry).res, RoleHit
+	}
+	if fl, ok := c.flights[key]; ok {
+		fl.waiters = append(fl.waiters, w)
+		return nil, RoleWaiter
+	}
+	c.flights[key] = &flight{}
+	return nil, RoleLeader
+}
+
+// Complete ends key's flight with a successful result: the result is
+// inserted (evicting LRU entries past the bounds) and every waiter is
+// notified with (res, true). A result too large for the byte bound is
+// passed to waiters but not cached.
+func (c *Cache) Complete(key string, res *problem.Result) {
+	if res == nil {
+		c.Abort(key)
+		return
+	}
+	size := resultSize(res)
+	c.mu.Lock()
+	fl := c.flights[key]
+	delete(c.flights, key)
+	if size > 0 && (c.maxBytes <= 0 || size <= c.maxBytes) {
+		if _, dup := c.byKey[key]; !dup {
+			c.byKey[key] = c.ll.PushFront(&entry{key: key, res: res, size: size})
+			c.bytes += size
+			c.evict()
+		}
+	}
+	var ws []Waiter
+	if fl != nil {
+		ws = fl.waiters
+	}
+	c.mu.Unlock()
+	for _, w := range ws {
+		w(res, true)
+	}
+}
+
+// Abort ends key's flight without a result; waiters are notified with
+// (nil, false) and nothing is cached.
+func (c *Cache) Abort(key string) {
+	c.mu.Lock()
+	fl := c.flights[key]
+	delete(c.flights, key)
+	var ws []Waiter
+	if fl != nil {
+		ws = fl.waiters
+	}
+	c.mu.Unlock()
+	for _, w := range ws {
+		w(nil, false)
+	}
+}
+
+// evict drops least-recently-used entries until both bounds hold.
+// Callers hold c.mu.
+func (c *Cache) evict() {
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.byKey, e.key)
+		c.bytes -= e.size
+	}
+}
+
+// Stats reports the current entry count and marshalled byte total,
+// for the /metrics gauges.
+func (c *Cache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
+}
+
+// resultSize charges an entry by its marshalled JSON size — the same
+// representation the HTTP layer serves — so the byte bound tracks what
+// the cache actually saves clients from recomputing. 0 (unmarshalable)
+// means "do not cache".
+func resultSize(res *problem.Result) int64 {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}

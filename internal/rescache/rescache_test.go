@@ -1,0 +1,188 @@
+package rescache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cimsa/internal/problem"
+)
+
+func res(instance string, objective float64) *problem.Result {
+	return &problem.Result{Problem: "tsp", Instance: instance, N: 4, Objective: objective}
+}
+
+func TestLeaderHitLifecycle(t *testing.T) {
+	c := New(4, 0)
+	r, role := c.Acquire("k1", nil)
+	if role != RoleLeader || r != nil {
+		t.Fatalf("first Acquire = (%v, %s), want leader", r, role)
+	}
+	want := res("a", 42)
+	c.Complete("k1", want)
+	got, role := c.Acquire("k1", nil)
+	if role != RoleHit || got != want {
+		t.Fatalf("second Acquire = (%v, %s), want hit with the stored result", got, role)
+	}
+	if n, b := c.Stats(); n != 1 || b <= 0 {
+		t.Fatalf("Stats = (%d, %d)", n, b)
+	}
+}
+
+func TestWaiterCoalescing(t *testing.T) {
+	c := New(4, 0)
+	if _, role := c.Acquire("k", nil); role != RoleLeader {
+		t.Fatal("want leader")
+	}
+	var mu sync.Mutex
+	var got []*problem.Result
+	var oks []bool
+	waiter := func(r *problem.Result, ok bool) {
+		mu.Lock()
+		got = append(got, r)
+		oks = append(oks, ok)
+		mu.Unlock()
+	}
+	for i := 0; i < 3; i++ {
+		if _, role := c.Acquire("k", waiter); role != RoleWaiter {
+			t.Fatalf("concurrent Acquire %d: want waiter, got %s", i, role)
+		}
+	}
+	want := res("x", 7)
+	c.Complete("k", want)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("%d waiters notified, want 3", len(got))
+	}
+	for i := range got {
+		if got[i] != want || !oks[i] {
+			t.Fatalf("waiter %d got (%v, %v)", i, got[i], oks[i])
+		}
+	}
+}
+
+func TestAbortNotifiesWaitersAndCachesNothing(t *testing.T) {
+	c := New(4, 0)
+	c.Acquire("k", nil)
+	notified := false
+	c.Acquire("k", func(r *problem.Result, ok bool) {
+		if r != nil || ok {
+			t.Errorf("abort waiter got (%v, %v)", r, ok)
+		}
+		notified = true
+	})
+	c.Abort("k")
+	if !notified {
+		t.Fatal("waiter not notified on Abort")
+	}
+	if n, _ := c.Stats(); n != 0 {
+		t.Fatal("Abort cached an entry")
+	}
+	// The key is free again: the next Acquire leads a fresh flight.
+	if _, role := c.Acquire("k", nil); role != RoleLeader {
+		t.Fatal("key still held after Abort")
+	}
+}
+
+func TestLRUEvictionByEntries(t *testing.T) {
+	c := New(2, 0)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Acquire(k, nil)
+		c.Complete(k, res(k, float64(i)))
+	}
+	if n, _ := c.Stats(); n != 2 {
+		t.Fatalf("entries = %d, want 2", n)
+	}
+	// k0 was least recently used and must be gone.
+	if _, role := c.Acquire("k0", nil); role != RoleLeader {
+		t.Fatal("k0 survived eviction")
+	}
+	c.Abort("k0")
+	if _, role := c.Acquire("k2", nil); role != RoleHit {
+		t.Fatal("k2 evicted too early")
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := New(2, 0)
+	for _, k := range []string{"a", "b"} {
+		c.Acquire(k, nil)
+		c.Complete(k, res(k, 1))
+	}
+	c.Acquire("a", nil) // hit: refreshes a
+	c.Acquire("c", nil)
+	c.Complete("c", res("c", 3)) // evicts b, not a
+	if _, role := c.Acquire("a", nil); role != RoleHit {
+		t.Fatal("recently-hit entry was evicted")
+	}
+	if _, role := c.Acquire("b", nil); role != RoleLeader {
+		t.Fatal("LRU entry b survived")
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	small := res("s", 1)
+	size := resultSize(small)
+	c := New(100, 2*size)
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Acquire(k, nil)
+		c.Complete(k, res("s", float64(i)))
+	}
+	if n, b := c.Stats(); b > 2*size || n > 2 {
+		t.Fatalf("byte bound violated: %d entries, %d bytes (max %d)", n, b, 2*size)
+	}
+	// A result larger than the whole byte budget is served to waiters
+	// but never stored.
+	big := res(string(make([]byte, int(4*size))), 9)
+	c.Acquire("big", nil)
+	c.Complete("big", big)
+	if _, role := c.Acquire("big", nil); role != RoleHit {
+		// Not cached: fine — must become a fresh leader, not a waiter.
+		if role != RoleLeader {
+			t.Fatalf("oversized entry Acquire role = %s", role)
+		}
+		c.Abort("big")
+	} else {
+		t.Fatal("oversized result was cached past the byte budget")
+	}
+}
+
+func TestConcurrentAcquireSingleLeader(t *testing.T) {
+	c := New(16, 0)
+	const goroutines = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	leaders := 0
+	notified := 0
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, role := c.Acquire("shared", func(*problem.Result, bool) {
+				mu.Lock()
+				notified++
+				mu.Unlock()
+			})
+			switch role {
+			case RoleLeader:
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				c.Complete("shared", res("shared", 5))
+			case RoleHit:
+				if r == nil {
+					t.Error("hit with nil result")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if leaders != 1 {
+		t.Fatalf("%d leaders for one key, want exactly 1", leaders)
+	}
+}

@@ -2,10 +2,18 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"cimsa"
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
+	"cimsa/internal/problem/tspprob"
 )
 
 // FuzzSubmitDecode throws arbitrary request bodies at the submit
@@ -86,4 +94,61 @@ func FuzzSubmitDecode(f *testing.F) {
 		}
 		_ = task.Validate()
 	})
+}
+
+// FuzzTenantHeader throws hostile X-Tenant values at the scheduler's
+// lane resolution. Invariants: no panic; every admitted job lands on a
+// lane whose name passes ValidName (so the Prometheus exposition can
+// never be label-injected); any value ValidName rejects — newlines,
+// quotes, label syntax, oversized strings — folds into the default
+// lane rather than minting one. The HTTP handler 400s these before
+// submit; this proves the layer below stays safe even without it.
+func FuzzTenantHeader(f *testing.F) {
+	seeds := []string{
+		"", "default", "acme", "a", "dot.dash-under_score",
+		strings.Repeat("x", 64), strings.Repeat("x", 65),
+		"has space", "semi;colon", "new\nline", "tab\there", "nul\x00byte",
+		"ünicode", "emoji\U0001F600", `quote"inject`, "crlf\r\n", "/slash",
+		`evil",other="1`, "{tenant=\"x\"}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	instant := func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error) {
+		return &problem.Result{Problem: task.Problem(), Instance: task.Label(), N: task.Size(), Objective: 1}, nil
+	}
+	sched := NewScheduler(Config{MaxConcurrent: 2, QueueDepth: 64, Solve: instant, SweepEvery: time.Hour})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = sched.Shutdown(ctx)
+	})
+	in := cimsa.GenerateInstance("tenant-fuzz", 10, 1)
+	var n atomic.Int64
+	f.Fuzz(func(t *testing.T, tenant string) {
+		_ = n.Add(1)
+		job, err := sched.SubmitTenant(tenant, tspprob.New(in, cimsa.Options{}))
+		if err != nil {
+			if isRejection(err) {
+				return
+			}
+			t.Fatalf("SubmitTenant(%q): unexpected error %v", tenant, err)
+		}
+		if !fairsched.ValidName(job.Tenant) {
+			t.Fatalf("tenant %q admitted onto exposition-unsafe lane %q", tenant, job.Tenant)
+		}
+		if !fairsched.ValidName(tenant) && tenant != "" && job.Tenant != fairsched.DefaultTenant {
+			t.Fatalf("hostile tenant %q minted lane %q instead of folding to default", tenant, job.Tenant)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(10 * time.Second):
+			t.Fatalf("fuzz job for tenant %q never finished", tenant)
+		}
+	})
+}
+
+// isRejection mirrors the HTTP layer's 429 class.
+func isRejection(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull) || errors.Is(err, ErrRateLimited)
 }

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"strings"
 
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
 	"cimsa/internal/problem/tspprob"
 
@@ -168,6 +171,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The X-Tenant header selects the fair-scheduling lane and quota
+	// bucket; absent means the default tenant. A syntactically invalid
+	// name is rejected outright rather than silently folded, so a
+	// misconfigured client learns immediately.
+	tenant := r.Header.Get("X-Tenant")
+	if tenant != "" && !fairsched.ValidName(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid X-Tenant header: need 1..64 bytes of [A-Za-z0-9._-]")
+		return
+	}
 	// Re-marshal the parsed request as the journal source: it round-trips
 	// through the same decoder at recovery, and normalizing it here means
 	// a recovered job is built from exactly what this submission parsed.
@@ -176,11 +188,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "request not journalable: "+err.Error())
 		return
 	}
-	job, err := s.sched.SubmitSource(task, source)
+	job, err := s.sched.SubmitTenantSource(tenant, task, source)
+	var rle *fairsched.RateLimitError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job.Status())
-	case errors.Is(err, ErrQueueFull):
+	case errors.As(err, &rle):
+		w.Header().Set("Retry-After", retryAfterSeconds(rle.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrTenantQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrShuttingDown):
@@ -188,6 +204,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
+}
+
+// retryAfterSeconds renders a token-bucket wait as a whole-second
+// Retry-After value, rounded up and never below 1 (a Retry-After of 0
+// invites an immediate, equally doomed retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // buildTask resolves the request to a validated task via the problem
@@ -254,11 +281,15 @@ func (s *Server) buildTask(req *SubmitRequest) (problem.Task, error) {
 	}
 }
 
-// handleList reports every tracked job plus a per-problem × state
-// summary ("problems": {"tsp": {"done": 2, ...}, ...}).
+// handleList reports every tracked job plus per-problem × state and
+// per-tenant × state summaries ("problems": {"tsp": {"done": 2, ...}},
+// "tenants": {"default": {"queued": 1, ...}}). Both summaries partition
+// the same job set, so their totals agree with each other and with the
+// unlabeled metrics.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.sched.List()
 	problems := map[string]map[State]int{}
+	tenants := map[string]map[State]int{}
 	for _, st := range jobs {
 		m := problems[st.Problem]
 		if m == nil {
@@ -266,8 +297,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			problems[st.Problem] = m
 		}
 		m[st.State]++
+		tm := tenants[st.Tenant]
+		if tm == nil {
+			tm = map[State]int{}
+			tenants[st.Tenant] = tm
+		}
+		tm[st.State]++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "problems": problems})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "problems": problems, "tenants": tenants})
 }
 
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {

@@ -59,6 +59,11 @@ type Job struct {
 	// ID is the job's opaque identifier.
 	ID string
 
+	// Tenant is the canonical lane the job is scheduled and accounted
+	// under (fairsched.DefaultTenant when the submission carried no
+	// identity); set at submission, immutable afterwards.
+	Tenant string
+
 	task problem.Task
 
 	// ctx is the solve's context; cancel aborts it (set at creation,
@@ -85,6 +90,7 @@ type Job struct {
 	expires   time.Time
 	result    *problem.Result
 	err       error
+	cached    bool // result served from the cache, no solve ran
 	seq       int
 	events    []Event
 	evicted   int
@@ -95,7 +101,9 @@ type Job struct {
 type Status struct {
 	ID string `json:"id"`
 	// Problem is the registered problem type ("tsp", "maxcut", ...).
-	Problem   string     `json:"problem"`
+	Problem string `json:"problem"`
+	// Tenant is the lane the job was scheduled under.
+	Tenant    string     `json:"tenant,omitempty"`
 	State     State      `json:"state"`
 	Instance  string     `json:"instance"`
 	N         int        `json:"n"`
@@ -114,6 +122,9 @@ type Status struct {
 	// buffer; a non-zero value means an events stream opened now starts
 	// at seq EventsEvicted+1, not 1.
 	EventsEvicted int `json:"events_evicted,omitempty"`
+	// Cached marks a done job whose result was served from the result
+	// cache (bit-identical to a fresh solve; no solver ran).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -126,10 +137,12 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:        j.ID,
 		Problem:   j.task.Problem(),
+		Tenant:    j.Tenant,
 		State:     j.state,
 		Instance:  j.task.Label(),
 		N:         j.task.Size(),
 		Submitted: j.submitted,
+		Cached:    j.cached,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -32,21 +32,27 @@ type Journal struct {
 
 // journalRecord is one JSONL line. Problem records the job's problem
 // type; records from before the multi-problem registry omit it, which
-// replay treats as the legacy TSP-only schema.
+// replay treats as the legacy TSP-only schema. Tenant records the
+// job's canonical lane; records from before tenancy omit it and
+// recover under the default tenant.
 type journalRecord struct {
 	Op        string          `json:"op"` // "submit" | "end"
 	ID        string          `json:"id"`
 	Problem   string          `json:"problem,omitempty"`
+	Tenant    string          `json:"tenant,omitempty"`
 	Submitted time.Time       `json:"submitted,omitempty"`
 	Request   json.RawMessage `json:"request,omitempty"`
 }
 
 // JournalEntry is one live (unfinished) job found during replay.
 // Problem is empty for records written before the multi-problem
-// registry (the request body itself still identifies the problem).
+// registry (the request body itself still identifies the problem);
+// Tenant is empty for records written before tenancy (the job recovers
+// under the default tenant).
 type JournalEntry struct {
 	ID        string
 	Problem   string
+	Tenant    string
 	Submitted time.Time
 	Request   json.RawMessage
 }
@@ -71,7 +77,7 @@ func OpenJournal(path string) (*Journal, []JournalEntry, error) {
 		return nil, nil, fmt.Errorf("journal: compact: %w", err)
 	}
 	for _, e := range live {
-		rec := journalRecord{Op: "submit", ID: e.ID, Problem: e.Problem, Submitted: e.Submitted, Request: e.Request}
+		rec := journalRecord{Op: "submit", ID: e.ID, Problem: e.Problem, Tenant: e.Tenant, Submitted: e.Submitted, Request: e.Request}
 		if err := appendRecord(f, rec); err != nil {
 			f.Close()
 			os.Remove(tmp)
@@ -130,7 +136,7 @@ func replayJournal(path string) ([]JournalEntry, error) {
 		switch rec.Op {
 		case "submit":
 			seq++
-			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Problem: rec.Problem, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
+			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Problem: rec.Problem, Tenant: rec.Tenant, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
 		case "end":
 			delete(open, rec.ID)
 		}
@@ -178,10 +184,10 @@ func (j *Journal) append(rec journalRecord) error {
 	return nil
 }
 
-// Submitted records an accepted job with its problem type and original
-// request body.
-func (j *Journal) Submitted(id string, submitted time.Time, problem string, request json.RawMessage) error {
-	return j.append(journalRecord{Op: "submit", ID: id, Problem: problem, Submitted: submitted, Request: request})
+// Submitted records an accepted job with its canonical tenant, problem
+// type and original request body.
+func (j *Journal) Submitted(id, tenant string, submitted time.Time, problem string, request json.RawMessage) error {
+	return j.append(journalRecord{Op: "submit", ID: id, Problem: problem, Tenant: tenant, Submitted: submitted, Request: request})
 }
 
 // Finished retires a job that reached a terminal state (done, failed

@@ -37,7 +37,7 @@ func TestJournalRoundTripAndCompaction(t *testing.T) {
 	}
 	ts := time.Unix(5000, 0).UTC()
 	for _, id := range []string{"a", "b", "c"} {
-		if err := j.Submitted(id, ts, "tsp", json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
+		if err := j.Submitted(id, "default", ts, "tsp", json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -69,7 +69,7 @@ func TestJournalRoundTripAndCompaction(t *testing.T) {
 func TestJournalIgnoresTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	j, _ := openTestJournal(t, path)
-	if err := j.Submitted("whole", time.Unix(1, 0), "tsp", json.RawMessage(`{}`)); err != nil {
+	if err := j.Submitted("whole", "default", time.Unix(1, 0), "tsp", json.RawMessage(`{}`)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -145,7 +145,7 @@ func TestSchedulerRetiresJournaledJobs(t *testing.T) {
 func crashState(t *testing.T, stateDir, jobID string, n int, withCheckpoint bool) {
 	t.Helper()
 	j, _ := openTestJournal(t, filepath.Join(stateDir, "journal.jsonl"))
-	if err := j.Submitted(jobID, time.Unix(7000, 0), "tsp", jobRequest(t, n)); err != nil {
+	if err := j.Submitted(jobID, "default", time.Unix(7000, 0), "tsp", jobRequest(t, n)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -277,7 +277,7 @@ func TestRecoverDropsUnbuildableEntry(t *testing.T) {
 	stateDir := t.TempDir()
 	path := filepath.Join(stateDir, "journal.jsonl")
 	j, _ := openTestJournal(t, path)
-	if err := j.Submitted("j0001-junk00", time.Unix(1, 0), "", json.RawMessage(`{"name":"no-such-instance-xyz"}`)); err != nil {
+	if err := j.Submitted("j0001-junk00", "", time.Unix(1, 0), "", json.RawMessage(`{"name":"no-such-instance-xyz"}`)); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metrics holds the service counters in a Prometheus-compatible text
@@ -14,24 +15,39 @@ import (
 // track the live queue/slot occupancy; counters are monotonic.
 //
 // The unlabeled cimserve_jobs_* families aggregate over every problem
-// type — their names and meanings predate the multi-problem registry
-// and are stable. The cimserve_problem_jobs_* families carry the same
-// counters split by {problem="..."} label; they are separate families
-// (not labeled series of the old names) so sum() over either family
+// type and every tenant — their names and meanings predate the
+// multi-problem registry and are stable. The cimserve_problem_jobs_*
+// and cimserve_tenant_jobs_* families carry the same counters split by
+// {problem="..."} and {tenant="..."} labels; they are separate families
+// (not labeled series of the old names) so sum() over any one family
 // never double-counts.
 type Metrics struct {
 	Submitted atomic.Int64 // jobs accepted into the queue
-	Rejected  atomic.Int64 // jobs refused with queue-full backpressure
-	Queued    atomic.Int64 // gauge: jobs waiting for a slot
-	Running   atomic.Int64 // gauge: jobs occupying a solver slot
-	Done      atomic.Int64 // jobs finished successfully
-	Failed    atomic.Int64 // jobs finished with an error
-	Canceled  atomic.Int64 // jobs canceled (queued or running)
+	// Rejected counts every backpressure refusal (HTTP 429): global
+	// queue full, tenant max_queued quota, and tenant rate limit.
+	Rejected atomic.Int64
+	// RateLimited is the token-bucket slice of Rejected.
+	RateLimited atomic.Int64
+	Queued      atomic.Int64 // gauge: jobs waiting for a slot
+	Running     atomic.Int64 // gauge: jobs occupying a solver slot
+	Done        atomic.Int64 // jobs finished successfully
+	Failed      atomic.Int64 // jobs finished with an error
+	Canceled    atomic.Int64 // jobs canceled (queued or running)
 
 	CheckpointsWritten atomic.Int64 // durable solver snapshots written
 	Resumes            atomic.Int64 // solves continued from a checkpoint
 	ResumeFailures     atomic.Int64 // checkpoints rejected (job solved fresh)
 	Recovered          atomic.Int64 // jobs re-enqueued from the journal on boot
+
+	// Result-cache outcomes per dispatched job: a hit served the stored
+	// result, a miss led the solve (and populated the cache on success),
+	// a coalesce attached the job to an identical in-flight solve.
+	CacheHits      atomic.Int64
+	CacheMisses    atomic.Int64
+	CacheCoalesced atomic.Int64
+	// CacheStats, when non-nil, supplies the live cache occupancy gauges
+	// (entry count, marshalled bytes); nil means caching is off.
+	CacheStats func() (entries int, bytes int64)
 
 	// solveNanos and iterations accumulate over completed solves; their
 	// ratio is the service's aggregate iterations/sec.
@@ -40,6 +56,9 @@ type Metrics struct {
 
 	pmu        sync.Mutex
 	perProblem map[string]*ProblemMetrics
+
+	tmu       sync.Mutex
+	perTenant map[string]*TenantMetrics
 }
 
 // ProblemMetrics is one problem type's slice of the job counters.
@@ -50,6 +69,52 @@ type ProblemMetrics struct {
 	Done      atomic.Int64
 	Failed    atomic.Int64
 	Canceled  atomic.Int64
+}
+
+// TenantMetrics is one tenant's slice of the job counters plus its
+// submit→dispatch latency histogram. Tenants are always accounted by
+// their canonical lane name (fairsched folds invalid or over-budget
+// names into the default lane), so label cardinality is bounded by the
+// tenant budget, not by hostile header churn.
+type TenantMetrics struct {
+	Submitted atomic.Int64
+	Rejected  atomic.Int64 // this tenant's slice of Metrics.Rejected
+	Queued    atomic.Int64 // gauge
+	Running   atomic.Int64 // gauge
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+
+	queueWait waitHist
+}
+
+// queueWaitBuckets are the cimserve_queue_wait_seconds upper bounds; a
+// +Inf bucket is implicit. Fast dispatch under light load lands in the
+// millisecond buckets; a starved tenant shows up in the tail.
+var queueWaitBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// waitHist is a fixed-bucket latency histogram (Prometheus classic
+// histogram semantics: _bucket series are cumulative at exposition).
+type waitHist struct {
+	buckets  [len(queueWaitBuckets) + 1]atomic.Int64 // last = +Inf
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+func (h *waitHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	secs := d.Seconds()
+	i := 0
+	for ; i < len(queueWaitBuckets); i++ {
+		if secs <= queueWaitBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	h.count.Add(1)
 }
 
 // Problem returns the counters for one problem type, creating them on
@@ -81,10 +146,47 @@ func (m *Metrics) problemNames() []string {
 	return names
 }
 
+// Tenant returns the counters for one canonical tenant lane, creating
+// them on first use. The returned pointer is stable for the Metrics'
+// lifetime.
+func (m *Metrics) Tenant(name string) *TenantMetrics {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	if m.perTenant == nil {
+		m.perTenant = map[string]*TenantMetrics{}
+	}
+	tm := m.perTenant[name]
+	if tm == nil {
+		tm = &TenantMetrics{}
+		m.perTenant[name] = tm
+	}
+	return tm
+}
+
+// tenantNames snapshots the labeled tenants, sorted for a stable
+// exposition order.
+func (m *Metrics) tenantNames() []string {
+	m.tmu.Lock()
+	defer m.tmu.Unlock()
+	names := make([]string, 0, len(m.perTenant))
+	for n := range m.perTenant {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ObserveSolve records a completed solve's latency and iteration count.
 func (m *Metrics) ObserveSolve(nanos int64, iterations int) {
 	m.solveNanos.Add(nanos)
 	m.iterations.Add(int64(iterations))
+}
+
+// ObserveQueueWait records one job's submit→dispatch latency under its
+// tenant (cache-served jobs observe submit→completion: they leave the
+// queue without ever occupying a slot).
+func (m *Metrics) ObserveQueueWait(tenant string, d time.Duration) {
+	m.Tenant(tenant).queueWait.observe(d)
 }
 
 // WriteTo emits the Prometheus text format.
@@ -102,12 +204,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	if secs > 0 {
 		ips = iters / secs
 	}
+	cacheEntries, cacheBytes := 0, int64(0)
+	if m.CacheStats != nil {
+		cacheEntries, cacheBytes = m.CacheStats()
+	}
 	for _, row := range []struct {
 		name, kind, help string
 		v                float64
 	}{
 		{"cimserve_jobs_submitted_total", "counter", "Jobs accepted into the queue.", float64(m.Submitted.Load())},
-		{"cimserve_jobs_rejected_total", "counter", "Jobs refused with queue-full backpressure (HTTP 429).", float64(m.Rejected.Load())},
+		{"cimserve_jobs_rejected_total", "counter", "Jobs refused with backpressure (queue full, tenant quota or rate limit; HTTP 429).", float64(m.Rejected.Load())},
+		{"cimserve_jobs_rate_limited_total", "counter", "Jobs refused by a tenant token-bucket rate limit (a slice of rejected_total).", float64(m.RateLimited.Load())},
 		{"cimserve_jobs_queued", "gauge", "Jobs currently waiting for a solver slot.", float64(m.Queued.Load())},
 		{"cimserve_jobs_running", "gauge", "Jobs currently occupying a solver slot.", float64(m.Running.Load())},
 		{"cimserve_jobs_done_total", "counter", "Jobs finished successfully.", float64(m.Done.Load())},
@@ -117,6 +224,11 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"cimserve_resumes_total", "counter", "Solves continued from an on-disk checkpoint.", float64(m.Resumes.Load())},
 		{"cimserve_resume_failures_total", "counter", "Checkpoints rejected as corrupt or mismatched (the job solved fresh).", float64(m.ResumeFailures.Load())},
 		{"cimserve_jobs_recovered_total", "counter", "Jobs re-enqueued from the journal at boot.", float64(m.Recovered.Load())},
+		{"cimserve_cache_hits_total", "counter", "Jobs answered from the result cache (no solve ran).", float64(m.CacheHits.Load())},
+		{"cimserve_cache_misses_total", "counter", "Jobs that led a cacheable solve (populating the cache on success).", float64(m.CacheMisses.Load())},
+		{"cimserve_cache_coalesced_total", "counter", "Jobs coalesced onto an identical in-flight solve.", float64(m.CacheCoalesced.Load())},
+		{"cimserve_cache_entries", "gauge", "Results currently held by the cache.", float64(cacheEntries)},
+		{"cimserve_cache_bytes", "gauge", "Marshalled bytes currently held by the cache.", float64(cacheBytes)},
 		{"cimserve_solve_seconds_total", "counter", "Wall-clock seconds spent in completed solves.", secs},
 		{"cimserve_solve_iterations_total", "counter", "Annealing iterations performed by completed solves.", iters},
 		{"cimserve_solve_iterations_per_second", "gauge", "Aggregate annealing throughput over completed solves.", ips},
@@ -149,6 +261,58 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 				if err != nil {
 					return n, err
 				}
+			}
+		}
+	}
+	tenants := m.tenantNames()
+	if len(tenants) > 0 {
+		for _, fam := range []struct {
+			name, kind, help string
+			v                func(*TenantMetrics) int64
+		}{
+			{"cimserve_tenant_jobs_submitted_total", "counter", "Jobs accepted into the queue, by tenant.", func(t *TenantMetrics) int64 { return t.Submitted.Load() }},
+			{"cimserve_tenant_jobs_rejected_total", "counter", "Jobs refused with backpressure, by tenant.", func(t *TenantMetrics) int64 { return t.Rejected.Load() }},
+			{"cimserve_tenant_jobs_queued", "gauge", "Jobs currently waiting for a solver slot, by tenant.", func(t *TenantMetrics) int64 { return t.Queued.Load() }},
+			{"cimserve_tenant_jobs_running", "gauge", "Jobs currently occupying a solver slot, by tenant.", func(t *TenantMetrics) int64 { return t.Running.Load() }},
+			{"cimserve_tenant_jobs_done_total", "counter", "Jobs finished successfully, by tenant.", func(t *TenantMetrics) int64 { return t.Done.Load() }},
+			{"cimserve_tenant_jobs_failed_total", "counter", "Jobs finished with a solver error, by tenant.", func(t *TenantMetrics) int64 { return t.Failed.Load() }},
+			{"cimserve_tenant_jobs_canceled_total", "counter", "Jobs canceled while queued or running, by tenant.", func(t *TenantMetrics) int64 { return t.Canceled.Load() }},
+		} {
+			c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+			for _, name := range tenants {
+				c, err := fmt.Fprintf(w, "%s{tenant=%q} %s\n", fam.name, name, formatMetric(float64(fam.v(m.Tenant(name)))))
+				n += int64(c)
+				if err != nil {
+					return n, err
+				}
+			}
+		}
+		c, err := fmt.Fprintf(w, "# HELP cimserve_queue_wait_seconds Submit-to-dispatch latency, by tenant.\n# TYPE cimserve_queue_wait_seconds histogram\n")
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+		for _, name := range tenants {
+			h := &m.Tenant(name).queueWait
+			cum := int64(0)
+			for i, le := range queueWaitBuckets {
+				cum += h.buckets[i].Load()
+				c, err := fmt.Fprintf(w, "cimserve_queue_wait_seconds_bucket{tenant=%q,le=%q} %d\n", name, formatMetric(le), cum)
+				n += int64(c)
+				if err != nil {
+					return n, err
+				}
+			}
+			cum += h.buckets[len(queueWaitBuckets)].Load()
+			c, err := fmt.Fprintf(w, "cimserve_queue_wait_seconds_bucket{tenant=%q,le=\"+Inf\"} %d\ncimserve_queue_wait_seconds_sum{tenant=%q} %s\ncimserve_queue_wait_seconds_count{tenant=%q} %d\n",
+				name, cum, name, formatMetric(float64(h.sumNanos.Load())/1e9), name, h.count.Load())
+			n += int64(c)
+			if err != nil {
+				return n, err
 			}
 		}
 	}

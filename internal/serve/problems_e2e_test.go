@@ -183,20 +183,29 @@ func TestJournalReplayMixedProblems(t *testing.T) {
 		`{"op":"submit","id":"j0001-old000","submitted":"2026-01-02T03:04:05Z","request":{"generate":{"name":"old-style","n":60,"seed":2},"options":{"pmax":3,"skip_hardware":true}}}`,
 		`{"op":"submit","id":"j0002-mc0000","problem":"maxcut","submitted":"2026-01-02T03:04:06Z","request":{"maxcut":{"generate":{"n":32,"density":0.3,"seed":7},"sweeps":50,"seed":1}}}`,
 		`{"op":"submit","id":"j0003-is0000","problem":"ising","submitted":"2026-01-02T03:04:07Z","request":{"ising":{"generate":{"n":12,"density":0.5,"seed":3},"sweeps":40,"seed":2}}}`,
+		// Written by a tenancy-aware server: the tenant field must
+		// survive replay and the job must recover onto its lane.
+		`{"op":"submit","id":"j0004-tn0000","problem":"maxcut","tenant":"acme","submitted":"2026-01-02T03:04:08Z","request":{"maxcut":{"generate":{"n":32,"density":0.3,"seed":7},"sweeps":50,"seed":1}}}`,
 	}, "\n") + "\n"
 	if err := os.WriteFile(filepath.Join(stateDir, "journal.jsonl"), []byte(lines), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
 	srv, sched, entries := bootServer(t, stateDir)
-	if len(entries) != 3 {
-		t.Fatalf("replay found %d entries, want 3", len(entries))
+	if len(entries) != 4 {
+		t.Fatalf("replay found %d entries, want 4", len(entries))
 	}
 	if entries[0].Problem != "" {
 		t.Fatalf("legacy record grew a problem field: %q", entries[0].Problem)
 	}
-	if got := srv.Recover(entries); got != 3 {
-		t.Fatalf("Recover re-enqueued %d jobs, want 3", got)
+	if entries[0].Tenant != "" {
+		t.Fatalf("pre-tenancy record grew a tenant field: %q", entries[0].Tenant)
+	}
+	if entries[3].Tenant != "acme" {
+		t.Fatalf("tenanted record replayed tenant %q, want acme", entries[3].Tenant)
+	}
+	if got := srv.Recover(entries); got != 4 {
+		t.Fatalf("Recover re-enqueued %d jobs, want 4", got)
 	}
 
 	wantTSP, err := cimsa.Solve(cimsa.GenerateInstance("old-style", 60, 2),
@@ -213,6 +222,7 @@ func TestJournalReplayMixedProblems(t *testing.T) {
 		"j0001-old000": "tsp",
 		"j0002-mc0000": "maxcut",
 		"j0003-is0000": "ising",
+		"j0004-tn0000": "maxcut",
 	} {
 		job, ok := sched.Get(id)
 		if !ok {
@@ -225,6 +235,15 @@ func TestJournalReplayMixedProblems(t *testing.T) {
 		if st.Problem != wantProblem {
 			t.Fatalf("job %s recovered as problem %q, want %q", id, st.Problem, wantProblem)
 		}
+		// Pre-tenancy records recover onto the default lane; tenanted
+		// records keep their lane.
+		wantTenant := "default"
+		if id == "j0004-tn0000" {
+			wantTenant = "acme"
+		}
+		if st.Tenant != wantTenant {
+			t.Fatalf("job %s recovered under tenant %q, want %q", id, st.Tenant, wantTenant)
+		}
 	}
 
 	tspJob, _ := sched.Get("j0001-old000")
@@ -236,7 +255,13 @@ func TestJournalReplayMixedProblems(t *testing.T) {
 	if got := mcJob.Result().Objective; got != wantCut.Cut {
 		t.Fatalf("recovered maxcut cut %v != direct %v", got, wantCut.Cut)
 	}
-	if got := sched.Metrics.Problem("maxcut").Done.Load(); got != 1 {
-		t.Fatalf("maxcut done counter %d after recovery, want 1", got)
+	if got := sched.Metrics.Problem("maxcut").Done.Load(); got != 2 {
+		t.Fatalf("maxcut done counter %d after recovery, want 2", got)
+	}
+	if got := sched.Metrics.Tenant("default").Done.Load(); got != 3 {
+		t.Fatalf("default-lane done counter %d after recovery, want 3", got)
+	}
+	if got := sched.Metrics.Tenant("acme").Done.Load(); got != 1 {
+		t.Fatalf("acme-lane done counter %d after recovery, want 1", got)
 	}
 }

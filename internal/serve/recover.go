@@ -35,7 +35,9 @@ func (s *Server) Recover(entries []JournalEntry) int {
 			task, err = s.buildTask(&req)
 		}
 		if err == nil {
-			_, err = s.sched.Resubmit(e.ID, e.Submitted, task)
+			// A pre-tenancy record carries no tenant; the empty string
+			// canonicalizes to the default lane.
+			_, err = s.sched.Resubmit(e.ID, e.Tenant, e.Submitted, task)
 		}
 		if err != nil {
 			s.sched.cfg.Logf("recovery: dropping job %s: %v", e.ID, err)

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"cimsa/internal/checkpoint"
+	"cimsa/internal/fairsched"
 	"cimsa/internal/problem"
+	"cimsa/internal/rescache"
 )
 
 // SolveFunc runs one job's solve. Production calls task.Solve; tests
@@ -63,6 +65,20 @@ type Config struct {
 	// Logf receives recovery and resume diagnostics (nil: discarded).
 	Logf func(format string, args ...any)
 
+	// Tenants configures the fair scheduler: per-tenant DRR weights and
+	// admission quotas. The zero value gives every tenant an unlimited
+	// weight-1 lane — behaviourally the old single FIFO. MaxQueuedTotal
+	// and Now are overridden from QueueDepth and Config.Now so the
+	// global depth and the clock have one source of truth.
+	Tenants fairsched.Config
+	// CacheEntries/CacheBytes enable the exact-match result cache when
+	// either is > 0: identical (instance, design point, seed, solver
+	// version) submissions are answered from memory — bit-identical to
+	// a fresh solve — and concurrent identical submissions coalesce
+	// onto one anneal. Zero values leave caching off.
+	CacheEntries int
+	CacheBytes   int64
+
 	// Solve and Now are seams for tests and the fault-injection harness
 	// (internal/faultinject); nil means cimsa.SolveContext and time.Now.
 	Solve SolveFunc
@@ -101,19 +117,29 @@ func (c Config) withDefaults() Config {
 
 // Submission errors the HTTP layer maps onto status codes.
 var (
-	// ErrQueueFull means the wait queue is at QueueDepth (HTTP 429).
+	// ErrQueueFull means the global wait queue is at QueueDepth (HTTP
+	// 429).
 	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrTenantQueueFull means the submitting tenant's own max_queued
+	// quota is exhausted (HTTP 429); other tenants are unaffected.
+	ErrTenantQueueFull = fairsched.ErrTenantQueueFull
+	// ErrRateLimited matches token-bucket rejections (HTTP 429 with a
+	// Retry-After derived from the *fairsched.RateLimitError).
+	ErrRateLimited = fairsched.ErrRateLimited
 	// ErrShuttingDown means the scheduler no longer accepts jobs (503).
 	ErrShuttingDown = errors.New("serve: shutting down")
 )
 
 // Scheduler multiplexes solve jobs onto a bounded pool of solver slots
-// with a FIFO wait queue, a TTL'd result store and graceful shutdown.
+// with a tenant-aware weighted-fair wait queue (internal/fairsched), an
+// optional exact-match result cache (internal/rescache), a TTL'd result
+// store and graceful shutdown.
 type Scheduler struct {
 	cfg     Config
 	Metrics Metrics
 
-	queue chan *Job
+	fq    *fairsched.Queue[*Job]
+	cache *rescache.Cache // nil when caching is off
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -130,11 +156,18 @@ type Scheduler struct {
 // NewScheduler starts the worker slots and the TTL janitor.
 func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
+	fqCfg := cfg.Tenants
+	fqCfg.MaxQueuedTotal = cfg.QueueDepth
+	fqCfg.Now = cfg.Now
 	s := &Scheduler{
 		cfg:         cfg,
-		queue:       make(chan *Job, cfg.QueueDepth),
+		fq:          fairsched.New[*Job](fqCfg),
 		jobs:        map[string]*Job{},
 		janitorStop: make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
+		s.cache = rescache.New(cfg.CacheEntries, cfg.CacheBytes)
+		s.Metrics.CacheStats = s.cache.Stats
 	}
 	s.workers.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -154,10 +187,10 @@ func (s *Scheduler) newID() string {
 	return fmt.Sprintf("j%04d-%s", s.idSeq.Add(1), hex.EncodeToString(b[:]))
 }
 
-// Submit validates and enqueues a job. The task is owned by the
-// scheduler afterwards and must not be mutated.
+// Submit validates and enqueues a job under the default tenant. The
+// task is owned by the scheduler afterwards and must not be mutated.
 func (s *Scheduler) Submit(task problem.Task) (*Job, error) {
-	return s.SubmitSource(task, nil)
+	return s.SubmitTenantSource("", task, nil)
 }
 
 // SubmitSource is Submit carrying the original request body: with a
@@ -166,27 +199,43 @@ func (s *Scheduler) Submit(task problem.Task) (*Job, error) {
 // re-enqueue the job from it. A nil source skips journaling — the job
 // cannot be recovered.
 func (s *Scheduler) SubmitSource(task problem.Task, source json.RawMessage) (*Job, error) {
-	if err := task.Validate(); err != nil {
-		return nil, err
-	}
-	return s.enqueue(s.newID(), time.Time{}, task, source, false)
+	return s.SubmitTenantSource("", task, source)
 }
 
-// Resubmit re-enqueues a recovered job under its original ID and
-// submission time. The journal already holds its record, so nothing is
-// re-journaled.
-func (s *Scheduler) Resubmit(id string, submitted time.Time, task problem.Task) (*Job, error) {
+// SubmitTenant is Submit under a tenant identity ("" means the default
+// tenant); the tenant's admission quotas apply and the job is scheduled
+// on its weighted lane.
+func (s *Scheduler) SubmitTenant(tenant string, task problem.Task) (*Job, error) {
+	return s.SubmitTenantSource(tenant, task, nil)
+}
+
+// SubmitTenantSource is SubmitSource under a tenant identity.
+func (s *Scheduler) SubmitTenantSource(tenant string, task problem.Task, source json.RawMessage) (*Job, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	return s.enqueue(id, submitted, task, nil, s.cfg.Journal != nil)
+	return s.enqueue(s.newID(), tenant, time.Time{}, task, source, false, true)
+}
+
+// Resubmit re-enqueues a recovered job under its original ID, tenant
+// and submission time. The journal already holds its record, so nothing
+// is re-journaled — and the tenant's admission quotas are bypassed: the
+// job was already accepted once, so a rate limit or a queued cap must
+// not drop it at boot (records from before tenancy carry no tenant and
+// recover under the default lane).
+func (s *Scheduler) Resubmit(id, tenant string, submitted time.Time, task problem.Task) (*Job, error) {
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	return s.enqueue(id, tenant, submitted, task, nil, s.cfg.Journal != nil, false)
 }
 
 // enqueue admits a job under s.mu. A zero submitted time means "now";
 // a non-nil source is journaled inside the critical section, so the
 // journal order matches the queue order; journaled marks a recovered
-// job whose record is already in the journal.
-func (s *Scheduler) enqueue(id string, submitted time.Time, task problem.Task, source json.RawMessage, journaled bool) (*Job, error) {
+// job whose record is already in the journal; admit applies the
+// tenant's quotas (false for recovered jobs).
+func (s *Scheduler) enqueue(id, tenant string, submitted time.Time, task problem.Task, source json.RawMessage, journaled, admit bool) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		ID:          id,
@@ -209,22 +258,37 @@ func (s *Scheduler) enqueue(id string, submitted time.Time, task problem.Task, s
 		cancel()
 		return nil, fmt.Errorf("serve: job %s already exists", job.ID)
 	}
+	job.Tenant = s.fq.Canonical(tenant)
 	job.submitted = submitted
 	if job.submitted.IsZero() {
 		job.submitted = s.cfg.Now()
 	}
-	// Only enqueue sends on the queue and only while holding s.mu, so a
-	// capacity check here decides the send without racing other senders.
-	if len(s.queue) == cap(s.queue) {
-		s.mu.Unlock()
-		cancel()
-		s.Metrics.Rejected.Add(1)
-		return nil, ErrQueueFull
+	tm := s.Metrics.Tenant(job.Tenant)
+	if admit {
+		// Only enqueue pushes onto the fair queue and only while holding
+		// s.mu, so Admit's verdict decides the Push without racing other
+		// submitters.
+		if err := s.fq.Admit(job.Tenant); err != nil {
+			s.mu.Unlock()
+			cancel()
+			if errors.Is(err, fairsched.ErrClosed) {
+				return nil, ErrShuttingDown
+			}
+			s.Metrics.Rejected.Add(1)
+			tm.Rejected.Add(1)
+			if errors.Is(err, ErrRateLimited) {
+				s.Metrics.RateLimited.Add(1)
+			}
+			if errors.Is(err, fairsched.ErrQueueFull) {
+				return nil, ErrQueueFull
+			}
+			return nil, err
+		}
 	}
 	if s.cfg.Journal != nil && source != nil {
 		// Durability before acknowledgement: if the journal can't hold
 		// the job, the client must not believe it was accepted.
-		if err := s.cfg.Journal.Submitted(job.ID, job.submitted, task.Problem(), source); err != nil {
+		if err := s.cfg.Journal.Submitted(job.ID, job.Tenant, job.submitted, task.Problem(), source); err != nil {
 			s.mu.Unlock()
 			cancel()
 			return nil, err
@@ -232,14 +296,16 @@ func (s *Scheduler) enqueue(id string, submitted time.Time, task problem.Task, s
 		job.journaled = true
 	}
 	// The gauge must rise before the job becomes visible to a worker:
-	// workers don't take s.mu, so incrementing after the send lets an
+	// workers don't take s.mu, so incrementing after the Push lets an
 	// eager worker run Queued.Add(-1) first and the gauge goes negative.
 	s.Metrics.Submitted.Add(1)
 	s.Metrics.Queued.Add(1)
 	pm := s.Metrics.Problem(task.Problem())
 	pm.Submitted.Add(1)
 	pm.Queued.Add(1)
-	s.queue <- job
+	tm.Submitted.Add(1)
+	tm.Queued.Add(1)
+	s.fq.Push(job.Tenant, job) // cannot fail: fq closes under s.mu with closed=true
 	s.jobs[job.ID] = job
 	s.mu.Unlock()
 	return job, nil
@@ -288,10 +354,25 @@ func (s *Scheduler) Cancel(id string) bool {
 		return false
 	}
 	job.cancel()
+	if s.cancelQueued(job) {
+		// Pull the corpse out of its lane so it stops occupying the
+		// tenant's queued quota and cannot clog a running-capped lane.
+		// (A job already popped — running, or coalesced on an in-flight
+		// identical solve — is simply not found here; that's fine.)
+		s.fq.Remove(job.Tenant, func(j *Job) bool { return j == job })
+	}
+	return true
+}
+
+// cancelQueued finalizes a job that is still queued as canceled,
+// fixing the gauges; it reports false (and does nothing) if the job
+// already left the queued state. Shared by Cancel and the coalesced
+// requeue path when the queue has shut down.
+func (s *Scheduler) cancelQueued(job *Job) bool {
 	job.mu.Lock()
 	if job.state != StateQueued {
 		job.mu.Unlock()
-		return true
+		return false
 	}
 	job.state = StateCanceled
 	job.err = context.Canceled
@@ -303,6 +384,9 @@ func (s *Scheduler) Cancel(id string) bool {
 	pm := s.Metrics.Problem(job.task.Problem())
 	pm.Queued.Add(-1)
 	pm.Canceled.Add(1)
+	tm := s.Metrics.Tenant(job.Tenant)
+	tm.Queued.Add(-1)
+	tm.Canceled.Add(1)
 	job.publish("canceled", nil, 0, "")
 	// Retire before signalling done: an observer of Done() may rely on
 	// the durable footprint (journal record, checkpoints) being gone.
@@ -347,28 +431,147 @@ func (s *Scheduler) jobCheckpointDir(id string) string {
 
 func (s *Scheduler) worker() {
 	defer s.workers.Done()
-	for job := range s.queue {
-		s.run(job)
+	for {
+		job, ok := s.fq.Pop()
+		if !ok {
+			return
+		}
+		s.dispatch(job)
 	}
 }
 
-// run executes one job on the calling worker's slot.
-func (s *Scheduler) run(job *Job) {
+// dispatch routes one popped job: straight to a solve when caching is
+// off, otherwise through the result cache. Every Pop is paired with
+// exactly one Release — immediately for a coalesced waiter (it occupies
+// no slot while it rides the leader's solve), after the job settles
+// otherwise.
+func (s *Scheduler) dispatch(job *Job) {
 	job.mu.Lock()
-	if job.state.Terminal() {
+	terminal := job.state.Terminal()
+	job.mu.Unlock()
+	if terminal {
 		// Canceled while queued; Cancel already finalized it and fixed
 		// the gauges.
+		s.fq.Release(job.Tenant)
+		return
+	}
+	if s.cache == nil {
+		s.run(job, "")
+		s.fq.Release(job.Tenant)
+		return
+	}
+	key := cacheKey(job.task)
+	res, role := s.cache.Acquire(key, func(res *problem.Result, ok bool) {
+		s.coalesced(job, res, ok)
+	})
+	switch role {
+	case rescache.RoleHit:
+		s.Metrics.CacheHits.Add(1)
+		s.finishCached(job, res)
+		s.fq.Release(job.Tenant)
+	case rescache.RoleWaiter:
+		// An identical solve is in flight: ride it instead of burning a
+		// slot on a duplicate anneal. The job stays StateQueued (so
+		// Cancel keeps working) and the slot frees for other work; the
+		// callback finalizes it — or requeues it if the leader aborts.
+		s.Metrics.CacheCoalesced.Add(1)
+		s.fq.Release(job.Tenant)
+	default:
+		s.Metrics.CacheMisses.Add(1)
+		s.run(job, key)
+		s.fq.Release(job.Tenant)
+	}
+}
+
+// cacheKey identifies a solve's output exactly: the canonical instance
+// content hash, the design-point hash (every result-affecting solve
+// parameter plus the backend's solver-version tag) and the instance
+// label (part of the served Result, so two differently-named identical
+// instances never share bytes).
+func cacheKey(task problem.Task) string {
+	return task.InstanceHash() + "|" + task.DesignHash() + "|" + task.Label()
+}
+
+// finishCached settles a queued job with a cache-served result:
+// queued → done without ever running, consuming no solver randomness.
+// The job still gets its terminal SSE event and its journal record is
+// retired like any other outcome. No-op if the job turned terminal
+// concurrently (a cancel won the race — the cancel path owned the
+// gauges).
+func (s *Scheduler) finishCached(job *Job, res *problem.Result) {
+	now := s.cfg.Now()
+	job.mu.Lock()
+	if job.state.Terminal() {
 		job.mu.Unlock()
+		return
+	}
+	job.state = StateDone
+	job.result = res
+	job.cached = true
+	job.finished = now
+	job.expires = now.Add(s.cfg.ResultTTL)
+	job.mu.Unlock()
+	pm := s.Metrics.Problem(job.task.Problem())
+	tm := s.Metrics.Tenant(job.Tenant)
+	s.Metrics.Queued.Add(-1)
+	pm.Queued.Add(-1)
+	tm.Queued.Add(-1)
+	s.Metrics.Done.Add(1)
+	pm.Done.Add(1)
+	tm.Done.Add(1)
+	s.Metrics.ObserveQueueWait(job.Tenant, now.Sub(job.submitted))
+	job.publish("done", nil, res.Objective, "")
+	s.retire(job)
+	close(job.done)
+}
+
+// coalesced is the waiter callback for a job riding an identical
+// in-flight solve; it runs on the leader's worker goroutine. A
+// successful leader settles the waiter from the shared result; an
+// aborted leader (failed or canceled) requeues the waiter for a fresh
+// solve of its own — its submission was accepted, so it must not
+// inherit the leader's fate.
+func (s *Scheduler) coalesced(job *Job, res *problem.Result, ok bool) {
+	if ok {
+		s.finishCached(job, res)
+		return
+	}
+	job.mu.Lock()
+	terminal := job.state.Terminal()
+	job.mu.Unlock()
+	if terminal {
+		return // canceled while coalesced; Cancel finalized it
+	}
+	if !s.fq.Push(job.Tenant, job) {
+		// Shutting down: nothing will pop a requeue, finalize instead.
+		s.cancelQueued(job)
+	}
+}
+
+// run executes one job on the calling worker's slot. A non-empty key
+// means this job leads a cache flight and must settle it: Complete on
+// success, Abort otherwise (so coalesced waiters are always notified).
+func (s *Scheduler) run(job *Job, key string) {
+	job.mu.Lock()
+	if job.state.Terminal() {
+		job.mu.Unlock()
+		if key != "" {
+			s.cache.Abort(key)
+		}
 		return
 	}
 	job.state = StateRunning
 	job.started = s.cfg.Now()
 	job.mu.Unlock()
 	pm := s.Metrics.Problem(job.task.Problem())
+	tm := s.Metrics.Tenant(job.Tenant)
 	s.Metrics.Queued.Add(-1)
 	s.Metrics.Running.Add(1)
 	pm.Queued.Add(-1)
 	pm.Running.Add(1)
+	tm.Queued.Add(-1)
+	tm.Running.Add(1)
+	s.Metrics.ObserveQueueWait(job.Tenant, job.started.Sub(job.submitted))
 
 	run := problem.Run{
 		Progress: func(ev problem.Progress) {
@@ -403,6 +606,7 @@ func (s *Scheduler) run(job *Job) {
 	elapsed := s.cfg.Now().Sub(start)
 	s.Metrics.Running.Add(-1)
 	pm.Running.Add(-1)
+	tm.Running.Add(-1)
 
 	job.mu.Lock()
 	job.finished = s.cfg.Now()
@@ -414,7 +618,14 @@ func (s *Scheduler) run(job *Job) {
 		job.mu.Unlock()
 		s.Metrics.Done.Add(1)
 		pm.Done.Add(1)
+		tm.Done.Add(1)
 		s.Metrics.ObserveSolve(elapsed.Nanoseconds(), res.Iterations)
+		if key != "" {
+			// Settle the flight before the terminal event: waiters
+			// coalesced on this solve finalize on this goroutine, so by
+			// the time this job reports done its riders are done too.
+			s.cache.Complete(key, res)
+		}
 		job.publish("done", nil, res.Objective, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
@@ -422,6 +633,10 @@ func (s *Scheduler) run(job *Job) {
 		job.mu.Unlock()
 		s.Metrics.Canceled.Add(1)
 		pm.Canceled.Add(1)
+		tm.Canceled.Add(1)
+		if key != "" {
+			s.cache.Abort(key)
+		}
 		job.publish("canceled", nil, 0, "")
 	default:
 		job.state = StateFailed
@@ -429,6 +644,10 @@ func (s *Scheduler) run(job *Job) {
 		job.mu.Unlock()
 		s.Metrics.Failed.Add(1)
 		pm.Failed.Add(1)
+		tm.Failed.Add(1)
+		if key != "" {
+			s.cache.Abort(key)
+		}
 		job.publish("failed", nil, 0, err.Error())
 	}
 	// A cancelled job is terminal from the client's point of view (the
@@ -493,7 +712,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
+	s.fq.Close()
 	close(s.janitorStop)
 	s.mu.Unlock()
 
