@@ -28,6 +28,7 @@ import (
 	"cimsa/internal/checkpoint"
 	"cimsa/internal/clustered"
 	"cimsa/internal/core"
+	"cimsa/internal/noise"
 	"cimsa/internal/ppa"
 	"cimsa/internal/tour"
 	"cimsa/internal/tsplib"
@@ -91,6 +92,18 @@ type Options struct {
 	// "metropolis", "greedy" or "noisy-spins" (the ablations of
 	// DESIGN.md).
 	Mode string
+	// Fabric selects the noise substrate the weights are read through:
+	// "sram" (the paper's noisy SRAM bit, the default), "mram"
+	// (TAXI-style stochastic toward-reset flips), "fefet"
+	// (domain-granular errors with a steep retention cliff) or "clean"
+	// (an ideal array: no noise at any supply). The fabric changes the
+	// solve's output, so it is folded into cached-result identity.
+	Fabric string
+	// FabricSeed pins the fabricated chip explicitly; replica r of a
+	// multi-restart solve uses FabricSeed + r. 0 (the default) derives
+	// each replica's chip from Seed exactly as before fabrics were
+	// selectable.
+	FabricSeed uint64
 	// Restarts runs that many independent replicas (distinct seeds and
 	// noise fabrics) and keeps the best tour; 0 or 1 means a single run.
 	Restarts int
@@ -149,6 +162,11 @@ func (o Options) Validate() error {
 			return fmt.Errorf("cimsa: unknown Mode %q (noisy-cim | metropolis | greedy | noisy-spins)", o.Mode)
 		}
 	}
+	if o.Fabric != "" {
+		if _, err := noise.New(o.Fabric, 0); err != nil {
+			return fmt.Errorf("cimsa: unknown Fabric %q (sram | mram | fefet | clean)", o.Fabric)
+		}
+	}
 	if o.Checkpoint.EveryEpochs < 0 {
 		return fmt.Errorf("cimsa: negative Checkpoint.EveryEpochs %d", o.Checkpoint.EveryEpochs)
 	}
@@ -184,6 +202,8 @@ func SolveContext(ctx context.Context, in *Instance, opt Options) (*Report, erro
 		PMax:               opt.PMax,
 		Seed:               opt.Seed,
 		Mode:               mode,
+		Fabric:             opt.Fabric,
+		FabricSeed:         opt.FabricSeed,
 		SkipHardwareReport: opt.SkipHardware,
 		Parallel:           opt.Parallel,
 		Workers:            opt.Workers,

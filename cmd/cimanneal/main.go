@@ -53,6 +53,8 @@ func runTSP() {
 		pmax     = flag.Int("pmax", 3, "maximum cluster size (2-8)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		mode     = flag.String("mode", "noisy-cim", "randomness source: noisy-cim | metropolis | greedy | noisy-spins")
+		fabric   = flag.String("fabric", "", "noise substrate: sram (default) | mram | fefet | clean")
+		fabSeed  = flag.Uint64("fabric-seed", 0, "pin the fabricated chip explicitly (0 derives it from -seed)")
 		restarts = flag.Int("restarts", 1, "independent replicas; the best tour wins")
 		parallel = flag.Bool("parallel", false, "update non-adjacent clusters across a worker pool (GOMAXPROCS workers)")
 		workers  = flag.String("workers", "0", "worker-pool size: a count, 0 (GOMAXPROCS with -parallel), or auto (pick from instance size; results identical for any value)")
@@ -96,6 +98,8 @@ func runTSP() {
 		Reference:    !*noRef,
 		SkipHardware: *noHW,
 		Mode:         *mode,
+		Fabric:       *fabric,
+		FabricSeed:   *fabSeed,
 		Restarts:     *restarts,
 		Parallel:     *parallel,
 		Workers:      nWorkers,

@@ -27,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cimexperiments: ")
 	var (
-		run     = flag.String("run", "all", "comma list: fig1,table1,fig6,fig7,table2,table3,speedup,baselines,stability,convergence,ablations,relatedwork")
+		run     = flag.String("run", "all", "comma list: fig1,table1,fig6,fig7,table2,table3,speedup,baselines,fabrics,stability,convergence,ablations,relatedwork")
 		scale   = flag.Float64("scale", 1.0, "instance scale in (0,1] for solved workloads")
 		seed    = flag.Uint64("seed", 1, "seed")
 		samples = flag.Int("samples", 1000, "Fig. 6 Monte Carlo samples")
@@ -140,6 +140,15 @@ func main() {
 			return err
 		}
 		experiments.RenderBaselines(out, rows)
+		return nil
+	})
+	runStep("fabrics", func() error {
+		rows, err := experiments.FabricComparison(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFabricComparison(out, rows)
+		writeCSV("fabrics.csv", func(w io.Writer) error { return experiments.FabricsCSV(w, rows) })
 		return nil
 	})
 	runStep("stability", func() error {

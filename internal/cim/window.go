@@ -146,24 +146,24 @@ func (w *Window) MaskWeights(bits int) {
 
 // WriteBack restores the clean weights and performs a pseudo-read epoch
 // at the given supply and noisy-LSB count: every stored bit is read
-// through the fabric, so vulnerable cells take their preferred values.
+// through the fabric, so the device model's error process applies.
 // With nLSB = 0 or nominal vdd the window reads back clean.
-func (w *Window) WriteBack(f *noise.Fabric, vdd float64, nLSB int) {
+func (w *Window) WriteBack(f noise.Fabric, vdd float64, nLSB int) {
 	if nLSB <= 0 {
 		// No bit plane runs at reduced supply: every cell reads back
 		// exactly what was written.
 		copy(w.noisy, w.clean)
 		return
 	}
-	// The vulnerability probability depends only on vdd; hoist the
-	// error-model sigmoid out of the per-cell loop.
-	prob := f.VulnProb(vdd)
+	// The per-cell error probabilities depend only on vdd; Fabric.At
+	// hoists the error-model sigmoid out of the per-cell loop.
+	ep := f.At(vdd)
 	cols := w.Cols()
 	for row := 0; row < w.Rows(); row++ {
 		for col := 0; col < cols; col++ {
 			idx := row*cols + col
 			base := noise.CellID(w.Index, row, col, 0)
-			w.noisy[idx] = f.ApplyToCodeProb(w.clean[idx], base, prob, nLSB)
+			w.noisy[idx] = ep.ReadCode(w.clean[idx], base, nLSB)
 		}
 	}
 }

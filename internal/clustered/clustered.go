@@ -81,9 +81,10 @@ type Options struct {
 	// Schedule is the noise/iteration schedule; defaults to the paper's
 	// 400-iteration, 300→580 mV schedule.
 	Schedule noise.Schedule
-	// Fabric is the noisy SRAM fabric; defaults to a fabric seeded from
-	// Seed over the committed 16 nm error model.
-	Fabric *noise.Fabric
+	// Fabric is the noise substrate the annealer reads weights through;
+	// defaults to the paper's SRAM fabric seeded from Seed over the
+	// committed 16 nm error model.
+	Fabric noise.Fabric
 	// Mode selects the randomness source; defaults to ModeNoisyCIM.
 	Mode Mode
 	// Seed drives swap proposals (and the fabric if none is given).
@@ -536,7 +537,7 @@ func annealLevel(ctx context.Context, nodes []*cluster.Node, level, levelIdx, le
 		job.vdd = vdd
 		job.temp = temp * tFrac
 		if o.Mode == ModeNoisySpins {
-			job.vulnProb = o.Fabric.VulnProb(vdd)
+			job.epoch = o.Fabric.At(vdd)
 		}
 		for si := range ex.plan.steps {
 			if sn == nil {
@@ -682,7 +683,7 @@ func counterHash(vals ...uint64) uint64 {
 // Returns proposal/acceptance counts (0 or 1 each). It is the worker
 // pool's unit of work: it writes only cluster ci's state and reads only
 // neighbours that are frozen for the current chromatic phase.
-func updateCluster(state *levelState, ci, level, iter int, o *Options, vdd, vulnProb, temp float64) (proposed, accepted int) {
+func updateCluster(state *levelState, ci, level, iter int, o *Options, ep noise.Epoch, temp float64) (proposed, accepted int) {
 	cs := state.clusters[ci]
 	p := len(cs.order)
 	if p < 2 {
@@ -692,7 +693,7 @@ func updateCluster(state *levelState, ci, level, iter int, o *Options, vdd, vuln
 	if i == j {
 		return 0, 0
 	}
-	if proposeSwap(state, ci, i, j, o, u, vulnProb, temp) {
+	if proposeSwap(state, ci, i, j, o, u, ep, temp) {
 		cs.order[i], cs.order[j] = cs.order[j], cs.order[i]
 		return 1, 1
 	}
@@ -702,14 +703,14 @@ func updateCluster(state *levelState, ci, level, iter int, o *Options, vdd, vuln
 // proposeSwap evaluates one swap through the CIM path and decides
 // acceptance per the mode using the pre-drawn uniform u. It does not
 // apply the swap.
-func proposeSwap(state *levelState, ci, i, j int, o *Options, u, vulnProb, temp float64) bool {
+func proposeSwap(state *levelState, ci, i, j int, o *Options, u float64, ep noise.Epoch, temp float64) bool {
 	nc := len(state.clusters)
 	cs := state.clusters[ci]
 	prev := state.clusters[(ci-1+nc)%nc]
 	next := state.clusters[(ci+1)%nc]
 	in := cim.Inputs{Order: cs.order, PrevElem: prev.lastElem(), NextElem: next.firstElem()}
 	if o.Mode == ModeNoisySpins {
-		in = corruptInputs(in, o.Fabric, ci, vulnProb, cs)
+		in = corruptInputs(in, ep, ci, cs)
 	}
 	rows := cs.window.ActiveRows(in, cs.rowsBuf)
 	p := cs.window.P
@@ -743,18 +744,19 @@ func proposeSwap(state *levelState, ci, i, j int, o *Options, u, vulnProb, temp 
 }
 
 // corruptInputs applies the spatial spin-noise ablation: each one-hot
-// input bit is read through the fabric with a cell ID derived from the
-// cluster and slot, so the same spins see the same (fixed) errors every
-// cycle — reproducing [4]'s deterministic-trace failure mode. The
+// input bit is read through the fabric with a cell ID from the reserved
+// spin-register namespace (disjoint from every weight-window cell at
+// any cluster count), so the same spins see the same (fixed) errors
+// every cycle — reproducing [4]'s deterministic-trace failure mode. The
 // corrupted order lives in the cluster's spinBuf scratch, so the inner
 // loop stays allocation-free.
-func corruptInputs(in cim.Inputs, f *noise.Fabric, ci int, vulnProb float64, cs *clusterState) cim.Inputs {
+func corruptInputs(in cim.Inputs, ep noise.Epoch, ci int, cs *clusterState) cim.Inputs {
 	cs.spinBuf = append(cs.spinBuf[:0], in.Order...)
 	out := cim.Inputs{Order: cs.spinBuf, PrevElem: in.PrevElem, NextElem: in.NextElem}
 	p := len(out.Order)
 	for slot := 0; slot < p; slot++ {
-		id := noise.CellID(1<<20+ci, slot, 0, 0)
-		if f.ReadBitProb(id, 0, vulnProb) != 0 {
+		id := noise.SpinCellID(ci, slot)
+		if ep.ReadBit(id, 0) != 0 {
 			// The spin register bit misreads: the slot appears to hold a
 			// different (spatially fixed) element.
 			out.Order[slot] = int(id>>3) % p

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cimsa/internal/geom"
+	"cimsa/internal/noise"
 )
 
 // The executor is the solve's persistent execution engine: a pool of
@@ -112,9 +113,9 @@ type poolJob struct {
 	level, iter int
 	opt         *Options
 	vdd, temp   float64
-	// vulnProb is the pre-converted fabric vulnerability probability for
-	// the noisy-spins input corruption (unused by the other modes).
-	vulnProb float64
+	// epoch is the fabric's pre-hoisted pseudo-read pass for the
+	// noisy-spins input corruption (unused by the other modes).
+	epoch noise.Epoch
 	// nLSB is the refresh epoch's noisy-LSB count.
 	nLSB int
 	// silent suppresses the refresh work counters: a resume re-applies
@@ -487,7 +488,7 @@ func (ex *executor) runJob(w int, job *poolJob) {
 		switch job.kind {
 		case jobUpdatePhase:
 			for _, ci := range job.phase[start:end] {
-				prop, acc := updateCluster(job.state, ci, job.level, job.iter, job.opt, job.vdd, job.vulnProb, job.temp)
+				prop, acc := updateCluster(job.state, ci, job.level, job.iter, job.opt, job.epoch, job.temp)
 				sh.proposed += int64(prop)
 				sh.accepted += int64(acc)
 			}

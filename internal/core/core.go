@@ -32,6 +32,13 @@ type Config struct {
 	Schedule noise.Schedule
 	// Mode selects the randomness source (default: noisy CIM weights).
 	Mode clustered.Mode
+	// Fabric selects the noise substrate by registry kind ("sram",
+	// "mram", "fefet", "clean"); empty means the paper's SRAM fabric.
+	Fabric string
+	// FabricSeed pins the fabricated chip explicitly (replica r uses
+	// FabricSeed + r); 0 derives each replica's fabric seed from Seed,
+	// the pre-fabric default.
+	FabricSeed uint64
 	// Seed drives proposals and the fabric.
 	Seed uint64
 	// Tech provides the PPA technology constants (default: 16 nm).
@@ -97,6 +104,9 @@ func New(cfg Config) (*Annealer, error) {
 	}
 	if cfg.Tech == (ppa.Tech{}) {
 		cfg.Tech = ppa.Tech16nm()
+	}
+	if _, err := noise.New(cfg.Fabric, 0); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Annealer{cfg: cfg, pmax: pmax}, nil
 }
@@ -233,9 +243,24 @@ func (a *Annealer) SolveContext(ctx context.Context, in *tsplib.Instance) (*Repo
 				return a.cfg.Checkpoint(a.snapshot(in, hash, restarts, replica, &res, &agg, cs))
 			}
 		}
-		if rep > 0 {
-			// Each replica is a distinct chip: new fabric, new errors.
-			opts.Fabric = noise.NewFabric(seed ^ 0xfab)
+		fabricSeed := seed ^ 0xfab
+		if a.cfg.FabricSeed != 0 {
+			fabricSeed = a.cfg.FabricSeed + uint64(rep)
+		}
+		if a.cfg.Fabric != "" || a.cfg.FabricSeed != 0 {
+			// An explicit substrate or chip seed: build it here for every
+			// replica (each replica is a distinct chip: new fabric, new
+			// errors). The kind was validated by New.
+			f, err := noise.New(a.cfg.Fabric, fabricSeed)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			opts.Fabric = f
+		} else if rep > 0 {
+			// Default substrate: replica 0 leaves Fabric nil so clustered
+			// derives the identical pre-refactor default; later replicas
+			// are distinct chips.
+			opts.Fabric = noise.NewFabric(fabricSeed)
 		}
 		cur, err := clustered.SolveContext(ctx, in, opts)
 		if err != nil {

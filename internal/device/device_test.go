@@ -2,6 +2,7 @@ package device
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cimsa/internal/rng"
@@ -413,5 +414,65 @@ func TestHoldSNMScalesWithSupply(t *testing.T) {
 			t.Fatalf("nominal cell hold SNM asymmetric: %v vs %v", h0, h1)
 		}
 		prev = h0
+	}
+}
+
+// TestFitSigmoidDegenerateCurves pins the missing-crossing fix: curves
+// with no transition in the sampled range used to clamp every crossing
+// to the last sampled vdd, collapse v75-v25 to <= 0, and silently
+// substitute slope 0.01 — a fabricated fit the annealer would then
+// anneal against. Each degenerate shape must instead be refused with an
+// error naming what is missing.
+func TestFitSigmoidDegenerateCurves(t *testing.T) {
+	vdds := []float64{0.30, 0.34, 0.38, 0.42, 0.46, 0.50}
+	cases := []struct {
+		name    string
+		rates   []float64
+		wantErr string
+	}{
+		{
+			name:    "flat plateau never leaves",
+			rates:   []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+			wantErr: "never falls through 50%",
+		},
+		{
+			name:    "identically zero",
+			rates:   []float64{0, 0, 0, 0, 0, 0},
+			wantErr: "identically zero",
+		},
+		{
+			name: "zero head hides the hump from the plateau estimate",
+			// The plateau is taken from the two lowest-voltage samples;
+			// a curve that rises later has no usable plateau at all.
+			rates:   []float64{0, 0, 0.5, 0.3, 0.1, 0},
+			wantErr: "identically zero",
+		},
+		{
+			name:    "non-monotone tail never falls through 25%",
+			rates:   []float64{0.5, 0.45, 0.2, 0.35, 0.3, 0.2},
+			wantErr: "never falls through 25%",
+		},
+		{
+			name:    "partial fall stalls above 25%",
+			rates:   []float64{0.5, 0.5, 0.4, 0.3, 0.2, 0.2},
+			wantErr: "never falls through 25%",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FitSigmoid(vdds, tc.rates)
+			if err == nil {
+				t.Fatalf("degenerate curve %v produced a fit instead of an error", tc.rates)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the failure (want substring %q)", err, tc.wantErr)
+			}
+		})
+	}
+	// A noisy-but-real sigmoid must still fit: the fix rejects missing
+	// transitions, not measurement wiggle on an otherwise falling curve.
+	ok := []float64{0.5, 0.48, 0.35, 0.15, 0.04, 0.01}
+	if _, err := FitSigmoid(vdds, ok); err != nil {
+		t.Fatalf("real transition rejected: %v", err)
 	}
 }

@@ -52,7 +52,7 @@ func FitSigmoid(vdds, rates []float64) (ErrorModel, error) {
 	if maxRate <= 0 {
 		return ErrorModel{}, fmt.Errorf("device: error curve is identically zero")
 	}
-	crossing := func(level float64) float64 {
+	crossing := func(level float64) (float64, error) {
 		target := level * maxRate
 		for i := 1; i < len(rates); i++ {
 			if rates[i-1] >= target && rates[i] < target {
@@ -61,18 +61,32 @@ func FitSigmoid(vdds, rates []float64) (ErrorModel, error) {
 				if rates[i-1] != rates[i] {
 					t = (rates[i-1] - target) / (rates[i-1] - rates[i])
 				}
-				return vdds[i-1] + t*(vdds[i]-vdds[i-1])
+				return vdds[i-1] + t*(vdds[i]-vdds[i-1]), nil
 			}
 		}
-		return vdds[len(vdds)-1]
+		// A curve that never falls through the level has no transition in
+		// the sampled range (flat plateau, truncated sweep, or noise-only
+		// wiggle). Clamping to the last sampled vdd here would fabricate
+		// a fit — degenerate crossings then collapse to an arbitrary
+		// slope — so refuse, naming what is missing.
+		return 0, fmt.Errorf("device: error curve never falls through %.0f%% of its %.3g plateau within the sampled vdd range — cannot fit a sigmoid", level*100, maxRate)
 	}
-	v50 := crossing(0.5)
-	v25 := crossing(0.75) // rate falls through 75% before 25%
-	v75 := crossing(0.25)
+	v50, err := crossing(0.5)
+	if err != nil {
+		return ErrorModel{}, err
+	}
+	v25, err := crossing(0.75) // rate falls through 75% before 25%
+	if err != nil {
+		return ErrorModel{}, err
+	}
+	v75, err := crossing(0.25)
+	if err != nil {
+		return ErrorModel{}, err
+	}
 	// For a logistic, the 25-75% crossing span is 2*ln(3)*slope.
 	slope := (v75 - v25) / (2 * math.Log(3))
 	if slope <= 0 {
-		slope = 0.01
+		return ErrorModel{}, fmt.Errorf("device: 75%% crossing at %.4g V is not below the 25%% crossing at %.4g V — curve is not monotone enough to fit", v25, v75)
 	}
 	return ErrorModel{MaxRate: maxRate, V50: v50, Slope: slope}, nil
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cimsa/internal/cluster"
+	"cimsa/internal/clustered"
+	"cimsa/internal/noise"
+)
+
+// FabricRow is one noise substrate's outcome on the shared workload:
+// solution quality plus the PPA-relevant work counters, so the
+// comparison shows what each substrate costs as well as how it anneals.
+type FabricRow struct {
+	// Kind is the fabric's registry name (sram, mram, fefet, clean).
+	Kind string
+	// ErrAt030 is the model's marginal error rate at the schedule's
+	// starting 0.30 V supply — the noise the annealer opens with.
+	ErrAt030 float64
+	// OptimalRatio is tour length over the reference optimum.
+	OptimalRatio float64
+	// AcceptRate is accepted swaps over proposed swaps: how much of the
+	// substrate's disturbance converts into accepted moves.
+	AcceptRate float64
+	// WriteBacks and WeightWrites are the write-path work counters that
+	// dominate the energy model; Cycles is the modelled runtime.
+	WriteBacks   int64
+	WeightWrites int64
+	Cycles       int64
+}
+
+// FabricComparison anneals one dataset under every registered noise
+// substrate with otherwise identical options — same schedule, same
+// clustering, same proposal stream — so any quality or work difference
+// is attributable to the substrate's error character alone. The clean
+// fabric is the honest floor: the identical code path with every
+// pseudo-read exact.
+func FabricComparison(cfg Config) ([]FabricRow, error) {
+	c := cfg.withDefaults()
+	in, _, err := scaledLoad("pcb3038", c)
+	if err != nil {
+		return nil, err
+	}
+	strategy := cluster.Strategy{Kind: cluster.SemiFlex, P: 3}
+	var rows []FabricRow
+	for _, kind := range noise.Kinds() {
+		f, err := noise.New(kind, c.Seed+19)
+		if err != nil {
+			return nil, err
+		}
+		res, err := clustered.Solve(in, clustered.Options{
+			Strategy: strategy,
+			Seed:     c.Seed + 19,
+			Workers:  c.Workers,
+			Fabric:   f,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fabric %s: %w", kind, err)
+		}
+		ratio, err := refRatio(in, res.Length)
+		if err != nil {
+			return nil, err
+		}
+		accept := 0.0
+		if res.Stats.Proposed > 0 {
+			accept = float64(res.Stats.Accepted) / float64(res.Stats.Proposed)
+		}
+		rows = append(rows, FabricRow{
+			Kind:         kind,
+			ErrAt030:     f.Rate(0.30),
+			OptimalRatio: ratio,
+			AcceptRate:   accept,
+			WriteBacks:   res.Stats.WriteBacks,
+			WeightWrites: res.Stats.WeightWrites,
+			Cycles:       res.Stats.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFabricComparison prints the cross-fabric table.
+func RenderFabricComparison(w io.Writer, rows []FabricRow) {
+	fmt.Fprintf(w, "Cross-fabric comparison (pcb3038, identical schedule/options per row)\n")
+	fmt.Fprintf(w, "  %-6s %9s %8s %8s %12s %13s %10s\n",
+		"fabric", "err@0.30V", "ratio", "accept", "write-backs", "weight-writes", "cycles")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-6s %9.3f %8.3f %8.3f %12d %13d %10d\n",
+			r.Kind, r.ErrAt030, r.OptimalRatio, r.AcceptRate, r.WriteBacks, r.WeightWrites, r.Cycles)
+	}
+}
+
+// FabricsCSV emits the comparison in machine-readable form.
+func FabricsCSV(w io.Writer, rows []FabricRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Kind, f(r.ErrAt030), f(r.OptimalRatio), f(r.AcceptRate),
+			fmt.Sprint(r.WriteBacks), fmt.Sprint(r.WeightWrites), fmt.Sprint(r.Cycles),
+		})
+	}
+	return writeCSV(w, []string{"fabric", "err_at_0v30", "optimal_ratio", "accept_rate", "write_backs", "weight_writes", "cycles"}, out)
+}

@@ -219,9 +219,13 @@ type lane[T any] struct {
 
 func (l *lane[T]) refill(now time.Time) {
 	el := now.Sub(l.last).Seconds()
-	if el > 0 {
-		l.tokens = math.Min(float64(l.pol.Burst), l.tokens+el*l.pol.RatePerSec)
+	if el <= 0 {
+		// A backwards (or frozen) clock must not rewind l.last: the
+		// bucket would otherwise be credited for the same wall-clock
+		// interval twice once the clock recovers. l.last only advances.
+		return
 	}
+	l.tokens = math.Min(float64(l.pol.Burst), l.tokens+el*l.pol.RatePerSec)
 	l.last = now
 }
 
@@ -439,7 +443,14 @@ func (q *Queue[T]) Remove(name string, match func(T) bool) bool {
 	}
 	for i := range l.q {
 		if match(l.q[i]) {
-			l.q = append(l.q[:i], l.q[i+1:]...)
+			copy(l.q[i:], l.q[i+1:])
+			// Zero the vacated tail slot exactly as Pop zeroes l.q[0]: the
+			// left shift leaves the last element's old value alive in the
+			// backing array, which would retain the cancelled Job payload
+			// (instance data, result channels) until the slot is reused.
+			var zero T
+			l.q[len(l.q)-1] = zero
+			l.q = l.q[:len(l.q)-1]
 			q.total--
 			if len(l.q) == 0 {
 				q.dropFromRing(l)

@@ -458,3 +458,78 @@ func FuzzTenantsConfig(f *testing.F) {
 		_ = New[int](cfg)
 	})
 }
+
+// TestRemoveZeroesVacatedSlot pins the fix for the cancelled-payload
+// retention leak: Remove's left shift used to leave the last element's
+// old value alive in the backing array, keeping the cancelled Job (and
+// everything it references) reachable until the slot was overwritten.
+// The vacated tail slot must be zeroed exactly as Pop zeroes l.q[0].
+func TestRemoveZeroesVacatedSlot(t *testing.T) {
+	q := New[*string](Config{})
+	a, b, c := "a", "b", "c"
+	for _, v := range []*string{&a, &b, &c} {
+		if err := q.Admit("ten"); err != nil {
+			t.Fatal(err)
+		}
+		if !q.Push("ten", v) {
+			t.Fatal("Push refused")
+		}
+	}
+	if !q.Remove("ten", func(v *string) bool { return v == &b }) {
+		t.Fatal("Remove did not find the queued item")
+	}
+	q.mu.Lock()
+	l := q.lanes["ten"]
+	if len(l.q) != 2 {
+		q.mu.Unlock()
+		t.Fatalf("lane has %d queued items, want 2", len(l.q))
+	}
+	// The slot the shift vacated sits one past the new length in the
+	// same backing array.
+	tail := l.q[:len(l.q)+1][len(l.q)]
+	q.mu.Unlock()
+	if tail != nil {
+		t.Fatalf("vacated tail slot still holds %q; payload retained after Remove", *tail)
+	}
+}
+
+// TestRefillBackwardsClock pins the fix for the double-refill bug: a
+// clock that steps backwards (VM snapshot restore, NTP correction) must
+// not rewind the lane's refill anchor, or the same wall-clock interval
+// is credited twice once the clock recovers.
+func TestRefillBackwardsClock(t *testing.T) {
+	clk := newTestClock()
+	q := New[string](Config{
+		Now: clk.Now,
+		Tenants: map[string]Policy{
+			"metered": {RatePerSec: 1, Burst: 5},
+		},
+	})
+	// Drain the initial burst.
+	for i := 0; i < 5; i++ {
+		if err := q.Admit("metered"); err != nil {
+			t.Fatalf("Admit %d of initial burst: %v", i, err)
+		}
+	}
+	if err := q.Admit("metered"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("Admit with drained bucket = %v, want ErrRateLimited", err)
+	}
+	// The clock jumps 30 s into the past. No tokens may appear, and —
+	// the bug — the refill anchor must not move backwards.
+	clk.Advance(-30 * time.Second)
+	if err := q.Admit("metered"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("Admit after backwards jump = %v, want ErrRateLimited", err)
+	}
+	// The clock recovers to exactly where it was: no wall-clock time has
+	// passed since the bucket drained, so it must still be empty. The
+	// pre-fix code re-credited the 30 s interval here.
+	clk.Advance(30 * time.Second)
+	if err := q.Admit("metered"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("Admit after clock recovery = %v, want ErrRateLimited (double refill)", err)
+	}
+	// Genuine elapsed time still refills.
+	clk.Advance(2 * time.Second)
+	if err := q.Admit("metered"); err != nil {
+		t.Fatalf("Admit after genuine elapsed time: %v", err)
+	}
+}

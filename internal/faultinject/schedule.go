@@ -37,6 +37,10 @@ const (
 	// OpClockSweep jumps the clock past the TTL and runs a janitor
 	// sweep, asserting exactly the terminal jobs are removed.
 	OpClockSweep
+	// OpClockJumpBack rewinds the scripted clock and recovers it — the
+	// regression an NTP step or VM migration produces — asserting the
+	// control plane treats time as monotone throughout.
+	OpClockJumpBack
 	// OpQuiesce drives to a fixed point and asserts conservation.
 	OpQuiesce
 	// OpStorm races concurrent submissions against their own cancels.
@@ -68,6 +72,8 @@ func (k OpKind) String() string {
 		return "slow-subscriber"
 	case OpClockSweep:
 		return "clock-sweep"
+	case OpClockJumpBack:
+		return "clock-jump-back"
 	case OpQuiesce:
 		return "quiesce"
 	case OpStorm:
@@ -140,6 +146,8 @@ func GenSchedule(seed uint64) Schedule {
 			k = OpSlow
 		case x < 88:
 			k = OpClockSweep
+		case x < 91:
+			k = OpClockJumpBack
 		case x < 96:
 			k = OpQuiesce
 		default:
@@ -209,6 +217,8 @@ func GenTenantSchedule(seed uint64) Schedule {
 			k = OpAbandon
 		case x < 84:
 			k = OpClockSweep
+		case x < 87:
+			k = OpClockJumpBack
 		case x < 94:
 			k = OpQuiesce
 		default:
@@ -276,6 +286,8 @@ func (h *Harness) step(i int, op Op) {
 		}
 	case OpClockSweep:
 		h.clockSweep()
+	case OpClockJumpBack:
+		h.clockJumpBack(op.Arg)
 	case OpQuiesce:
 		h.Quiesce()
 	case OpStorm:
@@ -369,6 +381,31 @@ func (h *Harness) clockSweep() {
 		}
 	}
 	h.logf("clock-sweep removed %d", removed)
+}
+
+// clockJumpBack rewinds the scripted clock, probes the control plane at
+// the rewound instant, then recovers to the original time. The scripted
+// clock only ever moves at sweep points, so every unswept terminal job
+// finished at the current instant and expires a full TTL in the future:
+// a janitor sweep during the rewind must remove nothing. The recovery
+// leg is the half that pins the fairsched refill regression — the lane
+// cursor used to be rewritten to the rewound time, so the same interval
+// minted rate-limiter tokens twice once the clock caught back up; with
+// the fix the rewind-and-recover round trip is invisible to every lane,
+// and the schedule's later bursts and quotas behave as if it never
+// happened.
+func (h *Harness) clockJumpBack(arg int) {
+	h.t.Helper()
+	h.syncStarted()
+	h.waitFinishing()
+	h.settleAllCached()
+	back := time.Duration(1+arg%59) * time.Second
+	h.clock.Advance(-back)
+	if removed := h.sched.Sweep(); removed != 0 {
+		h.fatalf("sweep after %v backwards clock jump removed %d jobs; nothing can have expired in the past", back, removed)
+	}
+	h.clock.Advance(back)
+	h.logf("clock jumped back %v and recovered", back)
 }
 
 // storm races a fan-out of concurrent submissions each against its own

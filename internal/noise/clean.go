@@ -1,0 +1,35 @@
+package noise
+
+// Clean is the explicit no-noise fabric: every pseudo-read returns
+// exactly what was written at any supply. Selecting it turns the
+// noisy-CIM mode into pure greedy descent through the same code path —
+// the honest baseline for cross-fabric comparisons, as opposed to
+// ModeGreedy which also skips the write-back machinery's noise plumbing.
+type Clean struct{}
+
+// NewClean returns the clean fabric. It is stateless; the chip seed is
+// irrelevant because there is nothing to vary.
+func NewClean() *Clean { return &Clean{} }
+
+// Kind implements Fabric.
+func (*Clean) Kind() string { return KindClean }
+
+// Params implements Fabric.
+func (*Clean) Params() string { return "ideal" }
+
+// Version implements Fabric.
+func (*Clean) Version() string { return "clean/v1" }
+
+// Rate implements Fabric: never errs.
+func (*Clean) Rate(vdd float64) float64 { return 0 }
+
+// At implements Fabric.
+func (*Clean) At(vdd float64) Epoch { return cleanEpoch{} }
+
+type cleanEpoch struct{}
+
+// ReadBit implements Epoch: identity.
+func (cleanEpoch) ReadBit(cellID uint64, stored uint8) uint8 { return stored }
+
+// ReadCode implements Epoch: identity.
+func (cleanEpoch) ReadCode(code uint8, baseCellID uint64, nLSB int) uint8 { return code }

@@ -1,0 +1,314 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+// This file is the fabric conformance suite: the contract every Fabric
+// implementation must satisfy before the annealer, the service and the
+// result cache may trust it. It runs over the registry, so adding a
+// fabric kind automatically subjects it to the full suite. The checks:
+//
+//  1. identity   — Kind/Params/Version are stable, non-empty, and At
+//                  never returns nil.
+//  2. marginal   — the observed error rate over random stored data
+//                  matches Rate(vdd) at every scheduled supply.
+//  3. determinism — reads are pure functions of (cell, stored, vdd,
+//                  seed): two epochs at one supply agree bit-for-bit,
+//                  and two fabrics with one seed are interchangeable.
+//  4. code reads — ReadCode composes per-bit ReadBit, touches only the
+//                  nLSB low planes, and is the identity at nLSB = 0.
+//
+// Per-kind character tests (spatial-vs-temporal, toward-reset
+// asymmetry, domain granularity) follow the generic suite.
+
+// conformanceCells enumerates a realistic population of weight-bit cell
+// IDs: window/row/col shaped exactly as cim.Window addresses them.
+func conformanceCells() []uint64 {
+	var ids []uint64
+	for w := 0; w < 60; w++ {
+		for r := 0; r < 20; r++ {
+			for c := 0; c < 9; c++ {
+				for b := 0; b < 4; b++ {
+					ids = append(ids, CellID(w*37, r, c, b))
+				}
+			}
+		}
+	}
+	return ids
+}
+
+// storedBit derives a balanced pseudorandom stored value per cell,
+// independent of every fabric's internal hashing.
+func storedBit(id uint64) uint8 { return uint8(mix64(id^0x5bd1e995) & 1) }
+
+func TestFabricConformance(t *testing.T) {
+	cells := conformanceCells()
+	vdds := []float64{0.30, 0.42, 0.46, 0.54}
+	for _, kind := range Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			f, err := New(kind, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run("identity", func(t *testing.T) {
+				if f.Kind() != kind {
+					t.Fatalf("Kind() = %q, registered as %q", f.Kind(), kind)
+				}
+				if f.Params() == "" || f.Version() == "" {
+					t.Fatalf("empty identity: params %q version %q", f.Params(), f.Version())
+				}
+				if f.At(0.4) == nil {
+					t.Fatal("At returned a nil epoch")
+				}
+			})
+			t.Run("marginal-rate", func(t *testing.T) {
+				for _, vdd := range vdds {
+					want := f.Rate(vdd)
+					ep := f.At(vdd)
+					errs := 0
+					for _, id := range cells {
+						s := storedBit(id)
+						if ep.ReadBit(id, s) != s {
+							errs++
+						}
+					}
+					got := float64(errs) / float64(len(cells))
+					if want == 0 {
+						if errs != 0 {
+							t.Fatalf("vdd %.3f: clean-rated fabric produced %d errors", vdd, errs)
+						}
+						continue
+					}
+					// 6-sigma binomial bound with the effective sample
+					// count deflated 8x: domain-granular fabrics correlate
+					// the draws of neighbouring cells, inflating variance.
+					tol := 6 * math.Sqrt(want*(1-want)/(float64(len(cells))/8))
+					if math.Abs(got-want) > tol {
+						t.Fatalf("vdd %.3f: marginal error rate %.4f, model Rate %.4f (tol %.4f)", vdd, got, want, tol)
+					}
+				}
+			})
+			t.Run("determinism", func(t *testing.T) {
+				f2, err := New(kind, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, vdd := range vdds {
+					a, b, c := f.At(vdd), f.At(vdd), f2.At(vdd)
+					for _, id := range cells[:2000] {
+						s := storedBit(id)
+						ra := a.ReadBit(id, s)
+						if rb := b.ReadBit(id, s); rb != ra {
+							t.Fatalf("vdd %.3f cell %#x: two epochs disagree (%d vs %d)", vdd, id, ra, rb)
+						}
+						if rc := c.ReadBit(id, s); rc != ra {
+							t.Fatalf("vdd %.3f cell %#x: same-seed fabrics disagree (%d vs %d)", vdd, id, ra, rc)
+						}
+					}
+				}
+			})
+			t.Run("code-reads", func(t *testing.T) {
+				ep := f.At(0.42)
+				for i := 0; i < 512; i++ {
+					base := CellID(i%64, (i*7)%80, i%9, 0)
+					code := uint8(mix64(uint64(i)) % 256)
+					for _, nLSB := range []int{0, 1, 3, 6, 8} {
+						got := ep.ReadCode(code, base, nLSB)
+						want := code
+						for b := 0; b < nLSB; b++ {
+							bit := ep.ReadBit(base+uint64(b), (code>>b)&1)
+							want = want&^(1<<b) | bit<<b
+						}
+						if got != want {
+							t.Fatalf("ReadCode(%#02x, nLSB=%d) = %#02x, per-bit composition %#02x", code, nLSB, got, want)
+						}
+						if nLSB == 0 && got != code {
+							t.Fatalf("nLSB=0 must be the identity, got %#02x for %#02x", got, code)
+						}
+						if got>>nLSB != code>>nLSB {
+							t.Fatalf("ReadCode touched MSB planes above %d: %#02x -> %#02x", nLSB, code, got)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// vulnerableAt reports whether the epoch misreads the cell regardless
+// of the stored value for at least one stored value — the observable
+// definition of a disturbed cell.
+func errsAt(ep Epoch, id uint64) bool {
+	s := storedBit(id)
+	return ep.ReadBit(id, s) != s
+}
+
+// TestSRAMSpatialCharacter pins the paper's key property: the SRAM
+// error pattern is frozen per die and monotone in supply — a cell that
+// errs at a higher supply errs at every lower supply too (its
+// vulnerability threshold was already exceeded).
+func TestSRAMSpatialCharacter(t *testing.T) {
+	f := NewFabric(7)
+	cells := conformanceCells()
+	lo, hi := f.At(0.42), f.At(0.50)
+	nested, errsHi := 0, 0
+	for _, id := range cells {
+		if errsAt(hi, id) {
+			errsHi++
+			if errsAt(lo, id) {
+				nested++
+			}
+		}
+	}
+	if errsHi == 0 {
+		t.Fatal("no errors at 0.50 V; cannot test nesting")
+	}
+	if nested != errsHi {
+		t.Fatalf("SRAM vulnerability not monotone: %d of %d high-supply errors vanish at low supply", errsHi-nested, errsHi)
+	}
+}
+
+// TestMRAMTemporalCharacter pins the MRAM model's two distinguishing
+// properties: flips are toward reset only (a stored 0 never errs), and
+// the disturb pattern re-draws when the supply moves — two epochs at
+// infinitesimally different supplies share only chance overlap, where
+// the SRAM pattern would be essentially identical.
+func TestMRAMTemporalCharacter(t *testing.T) {
+	cells := conformanceCells()
+	m := NewMRAM(7)
+	ep := m.At(0.54)
+	for _, id := range cells {
+		if ep.ReadBit(id, 0) != 0 {
+			t.Fatalf("cell %#x: stored 0 flipped — MRAM disturb must be toward reset only", id)
+		}
+	}
+	overlap := func(a, b Epoch) (both, first int) {
+		for _, id := range cells {
+			ea := a.ReadBit(id, 1) != 1
+			eb := b.ReadBit(id, 1) != 1
+			if ea {
+				first++
+				if eb {
+					both++
+				}
+			}
+		}
+		return
+	}
+	// ~0.2 flip probability on stored-1 cells at this supply.
+	v1, v2 := 0.541, 0.5411
+	mBoth, mFirst := overlap(m.At(v1), m.At(v2))
+	if mFirst == 0 {
+		t.Fatal("no MRAM flips at test supply")
+	}
+	if frac := float64(mBoth) / float64(mFirst); frac > 0.5 {
+		t.Fatalf("MRAM disturb patterns at %.4f/%.4f V overlap %.2f — pattern is spatial, want temporal re-draw", v1, v2, frac)
+	}
+	s := NewFabric(7)
+	sBoth, sFirst := overlap(s.At(v1), s.At(v2))
+	if sFirst == 0 {
+		t.Fatal("no SRAM errors at test supply")
+	}
+	if frac := float64(sBoth) / float64(sFirst); frac < 0.9 {
+		t.Fatalf("SRAM error patterns at %.4f/%.4f V overlap only %.2f — expected frozen spatial pattern", v1, v2, frac)
+	}
+}
+
+// TestFeFETDomainCharacter pins the FeFET model's granularity: the
+// vulnerability draw is shared by the whole ferroelectric domain, so
+// within one domain either every cell is disturbed (each toward its own
+// imprinted value) or none is. The SRAM fabric, drawn per cell, must
+// show mixed domains — that contrast is what makes the FeFET fabric a
+// distinct substrate rather than a re-seeded SRAM.
+func TestFeFETDomainCharacter(t *testing.T) {
+	f := NewFeFET(7)
+	ep := f.At(0.46).(fefetEpoch)
+	// vulnerable(id): the cell ignores the stored value entirely.
+	vulnerable := func(e Epoch, id uint64) bool {
+		return e.ReadBit(id, 0) == e.ReadBit(id, 1)
+	}
+	domainSize := 1 << f.DomainShift
+	mixedFeFET := 0
+	domains := 0
+	for w := 0; w < 40; w++ {
+		for r := 0; r < 12; r++ {
+			base := CellID(w*31, r, 3, 0)
+			for d := 0; d < 8/domainSize; d++ {
+				domains++
+				vuln0 := vulnerable(ep, base+uint64(d*domainSize))
+				for b := 1; b < domainSize; b++ {
+					if vulnerable(ep, base+uint64(d*domainSize+b)) != vuln0 {
+						mixedFeFET++
+					}
+				}
+			}
+		}
+	}
+	if mixedFeFET != 0 {
+		t.Fatalf("%d of %d FeFET domains are partially vulnerable — vulnerability must be domain-granular", mixedFeFET, domains)
+	}
+	// The SRAM fabric over the same cells must not be domain-coherent.
+	sep := NewFabric(7).At(0.46)
+	mixedSRAM := 0
+	for w := 0; w < 40; w++ {
+		base := CellID(w*31, 5, 3, 0)
+		v0 := vulnerable(sep, base)
+		for b := 1; b < domainSize; b++ {
+			if vulnerable(sep, base+uint64(b)) != v0 {
+				mixedSRAM++
+			}
+		}
+	}
+	if mixedSRAM == 0 {
+		t.Fatal("SRAM vulnerability looks domain-coherent; the FeFET contrast test is vacuous")
+	}
+}
+
+// TestCellIDNamespaces pins the satellite fix for the cell-address
+// hazards: out-of-range coordinates panic instead of silently aliasing
+// another cell, and the spin-register namespace is disjoint from every
+// weight-window cell even at paper-scale cluster counts (the pre-fix
+// scheme parked spin cells at window 2^20+ci, which collided with real
+// windows once a level reached 2^20 clusters).
+func TestCellIDNamespaces(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: out-of-range coordinate did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("row overflow", func() { CellID(0, 1<<12, 0, 0) })
+	mustPanic("col overflow", func() { CellID(0, 0, 1<<12, 0) })
+	mustPanic("bit overflow", func() { CellID(0, 0, 0, 256) })
+	mustPanic("window overflow", func() { CellID(1<<31, 0, 0, 0) })
+	mustPanic("negative row", func() { CellID(0, -1, 0, 0) })
+	mustPanic("spin cluster overflow", func() { SpinCellID(1<<31, 0) })
+	mustPanic("spin slot overflow", func() { SpinCellID(0, 1<<12) })
+
+	// Paper scale: pla85900 at p=3 has ~28k leaf windows; stress well
+	// past 2^20 windows, where the old spin namespace collided.
+	for _, ci := range []int{0, 5, 1<<20 - 1, 1 << 20, 1<<20 + 5, 1 << 22, 1<<31 - 1} {
+		for slot := 0; slot < 8; slot++ {
+			spin := SpinCellID(ci, slot)
+			if spin&(1<<63) == 0 {
+				t.Fatalf("SpinCellID(%d,%d) missing the namespace bit", ci, slot)
+			}
+			// The old scheme: spin cells lived at window 2^20+ci. A level
+			// with >= 2^20 windows made that a real window's address.
+			weight := CellID(1<<20+ci%(1<<10), slot, 0, 0)
+			if spin == weight {
+				t.Fatalf("spin cell (%d,%d) aliases weight cell %#x", ci, slot, weight)
+			}
+		}
+	}
+	// Exhaustive on the contract itself: no weight cell can carry the
+	// namespace bit, because the window field is capped at 31 bits.
+	if id := CellID(1<<31-1, 1<<12-1, 1<<12-1, 255); id&(1<<63) != 0 {
+		t.Fatalf("maximal weight cell %#x sets the spin namespace bit", id)
+	}
+}

@@ -1,0 +1,129 @@
+package noise
+
+import (
+	"fmt"
+	"sort"
+
+	"cimsa/internal/fixed"
+)
+
+// Fabric abstracts the noisy weight substrate the annealer reads its
+// couplings through. The paper's device is a noisy SRAM bit, but the
+// same clustered algorithm maps onto other substrates (SOT-MRAM
+// crossbars, FeFET CIM arrays); each implementation models one device
+// family's pseudo-read error process.
+//
+// Identity methods (Kind, Params, Version) exist so result caches can
+// fold the fabric into their design hash: two solves that differ only
+// in fabric must never alias. Version must be bumped whenever an
+// implementation's bit stream changes for a fixed (cell, vdd, seed) —
+// the same contract as a solver version.
+//
+// All implementations must be deterministic pure functions of
+// (cellID, stored, vdd, seed): the conformance suite checks marginal
+// error rates against Rate, per-kind spatial/temporal character, and
+// bit-identical solves across worker counts.
+type Fabric interface {
+	// Kind is the registry name ("sram", "mram", "fefet", "clean").
+	Kind() string
+	// Params is a stable rendering of the model parameters (error-model
+	// constants, seed, granularity) for design hashing and logs.
+	Params() string
+	// Version tags the implementation's bit stream.
+	Version() string
+	// Rate returns the marginal pseudo-read error rate at supply vdd,
+	// taken over uniformly random stored data.
+	Rate(vdd float64) float64
+	// At prepares a pseudo-read epoch at supply vdd. The conversion from
+	// voltage to per-cell probabilities involves the error-model sigmoid
+	// (an exp); hot paths sweep many cells at one supply, so they pay it
+	// once per At and read through the returned Epoch.
+	At(vdd float64) Epoch
+}
+
+// Epoch is a pseudo-read pass at one fixed supply voltage.
+type Epoch interface {
+	// ReadBit returns the value observed when reading a cell that was
+	// written with stored.
+	ReadBit(cellID uint64, stored uint8) uint8
+	// ReadCode reads an 8-bit weight whose bit b lives in cell
+	// baseCellID + b. Only the nLSB least significant bit planes operate
+	// at the epoch's reduced supply; the remaining MSBs run at nominal
+	// supply and read back clean (the paper's MSB/LSB split placement).
+	ReadCode(code uint8, baseCellID uint64, nLSB int) uint8
+}
+
+// Registry names for the built-in fabrics.
+const (
+	KindSRAM  = "sram"
+	KindMRAM  = "mram"
+	KindFeFET = "fefet"
+	KindClean = "clean"
+)
+
+// builders maps kind names to constructors. Registration is static:
+// the set of device models is a compile-time property of the binary.
+var builders = map[string]func(seed uint64) Fabric{
+	KindSRAM:  func(seed uint64) Fabric { return NewFabric(seed) },
+	KindMRAM:  func(seed uint64) Fabric { return NewMRAM(seed) },
+	KindFeFET: func(seed uint64) Fabric { return NewFeFET(seed) },
+	KindClean: func(seed uint64) Fabric { return NewClean() },
+}
+
+// Kinds lists the registered fabric kinds in sorted order.
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the fabric of the given kind over its default device
+// model, seeded with the chip seed. An empty kind selects the paper's
+// SRAM fabric.
+func New(kind string, seed uint64) (Fabric, error) {
+	if kind == "" {
+		kind = KindSRAM
+	}
+	b, ok := builders[kind]
+	if !ok {
+		return nil, fmt.Errorf("noise: unknown fabric kind %q (have %v)", kind, Kinds())
+	}
+	return b(seed), nil
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixer shared by the virtual fabrics.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// u53 maps 64 hash bits to a uniform in [0,1) using the top 53 bits.
+func u53(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// readCodeBits implements Epoch.ReadCode in terms of ReadBit for any
+// concrete epoch type. The type parameter keeps the call monomorphized:
+// no interface dispatch or closure allocation inside the per-weight
+// loop.
+func readCodeBits[E interface {
+	ReadBit(cellID uint64, stored uint8) uint8
+}](e E, code uint8, baseCellID uint64, nLSB int) uint8 {
+	if nLSB <= 0 {
+		return code
+	}
+	if nLSB > fixed.Bits {
+		nLSB = fixed.Bits
+	}
+	out := code
+	for b := 0; b < nLSB; b++ {
+		out = fixed.SetBit(out, b, e.ReadBit(baseCellID+uint64(b), fixed.Bit(code, b)))
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package noise
+
+import (
+	"fmt"
+
+	"cimsa/internal/device"
+)
+
+// FeFET models a ferroelectric-FET CIM array (Qian et al. style): the
+// polarization loss that causes misreads is shared by the whole
+// ferroelectric domain, so errors arrive at domain granularity — a
+// vulnerable domain misreads every one of its cells, each toward that
+// cell's own imprinted value. The retention cliff is much sharper than
+// the SRAM butterfly collapse, so the transition slope is steeper.
+// Like the SRAM fabric the pattern is spatial: frozen per die, stable
+// across epochs at a fixed supply.
+type FeFET struct {
+	// Model converts supply voltage to the marginal misread rate over
+	// random stored data.
+	Model device.ErrorModel
+	// Seed selects the die.
+	Seed uint64
+	// DomainShift sets the domain granularity: cells sharing
+	// cellID >> DomainShift belong to one ferroelectric domain and are
+	// vulnerable together. The default groups 4 adjacent bit cells.
+	DomainShift uint
+}
+
+// fefetDomainShift is the committed granularity: 2^2 = 4 adjacent bit
+// cells per domain.
+const fefetDomainShift = 2
+
+// FeFETErrorModel is the committed misread sigmoid for the FeFET
+// fabric: same plateau and midpoint as the SRAM cell, with a much
+// steeper transition (the polarization retention cliff).
+func FeFETErrorModel() device.ErrorModel {
+	return device.ErrorModel{MaxRate: 0.5, V50: 0.502, Slope: 0.008}
+}
+
+// NewFeFET builds a FeFET fabric over the committed misread model.
+func NewFeFET(seed uint64) *FeFET {
+	return &FeFET{Model: FeFETErrorModel(), Seed: seed, DomainShift: fefetDomainShift}
+}
+
+// Kind implements Fabric.
+func (f *FeFET) Kind() string { return KindFeFET }
+
+// Params implements Fabric.
+func (f *FeFET) Params() string {
+	return fmt.Sprintf("max=%g v50=%g slope=%g domain=%d seed=%d",
+		f.Model.MaxRate, f.Model.V50, f.Model.Slope, uint(1)<<f.DomainShift, f.Seed)
+}
+
+// Version implements Fabric.
+func (f *FeFET) Version() string { return "fefet/v1" }
+
+// Rate implements Fabric.
+func (f *FeFET) Rate(vdd float64) float64 { return f.Model.Rate(vdd) }
+
+// At implements Fabric. A vulnerable domain's cell reads its imprinted
+// value, which matches the stored bit half the time over random data —
+// so the domain vulnerability probability is twice the marginal rate,
+// capped at 1, exactly like the SRAM preferred-bit construction.
+func (f *FeFET) At(vdd float64) Epoch {
+	p := 2 * f.Model.Rate(vdd)
+	if p > 1 {
+		p = 1
+	}
+	return fefetEpoch{f: f, vulnProb: p}
+}
+
+type fefetEpoch struct {
+	f        *FeFET
+	vulnProb float64
+}
+
+// ReadBit implements Epoch: the vulnerability draw keys on the domain,
+// the imprinted value on the individual cell.
+func (e fefetEpoch) ReadBit(cellID uint64, stored uint8) uint8 {
+	domain := cellID >> e.f.DomainShift
+	h := mix64(domain ^ e.f.Seed*0x9e3779b97f4a7c15)
+	if u53(h) >= e.vulnProb {
+		return stored
+	}
+	return uint8(mix64(cellID^e.f.Seed*0xbf58476d1ce4e5b9) & 1)
+}
+
+// ReadCode implements Epoch.
+func (e fefetEpoch) ReadCode(code uint8, baseCellID uint64, nLSB int) uint8 {
+	return readCodeBits(e, code, baseCellID, nLSB)
+}

@@ -1,0 +1,91 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"cimsa/internal/device"
+)
+
+// MRAM models a SOT-MRAM weight crossbar in the TAXI style: reads at
+// reduced supply suffer stochastic toward-reset flips. Unlike the SRAM
+// cell there is no frozen per-cell preference — a disturbed read always
+// collapses the free layer toward the reset state (stored 1 reads as
+// 0), and whether a given read is disturbed is re-drawn per epoch: the
+// switching process is thermally activated, so the error pattern is
+// temporal, not spatial. Determinism is preserved by deriving the draw
+// from (cell, supply, seed) instead of a shared RNG stream.
+type MRAM struct {
+	// Model converts supply voltage to the marginal read-disturb rate
+	// over random stored data.
+	Model device.ErrorModel
+	// Seed selects the die; two MRAM fabrics with the same seed draw
+	// identical disturb patterns.
+	Seed uint64
+}
+
+// MRAMErrorModel is the committed read-disturb sigmoid for the MRAM
+// fabric: the same plateau as the SRAM cell (so cross-fabric anneals
+// start from comparable noise), with a shallower transition — the
+// thermally activated switching probability moves more gradually with
+// read-path overdrive than the SRAM butterfly collapse does.
+func MRAMErrorModel() device.ErrorModel {
+	return device.ErrorModel{MaxRate: 0.5, V50: 0.502, Slope: 0.028}
+}
+
+// NewMRAM builds an MRAM fabric over the committed disturb model.
+func NewMRAM(seed uint64) *MRAM {
+	return &MRAM{Model: MRAMErrorModel(), Seed: seed}
+}
+
+// Kind implements Fabric.
+func (f *MRAM) Kind() string { return KindMRAM }
+
+// Params implements Fabric.
+func (f *MRAM) Params() string {
+	return fmt.Sprintf("max=%g v50=%g slope=%g seed=%d", f.Model.MaxRate, f.Model.V50, f.Model.Slope, f.Seed)
+}
+
+// Version implements Fabric.
+func (f *MRAM) Version() string { return "mram/v1" }
+
+// Rate implements Fabric.
+func (f *MRAM) Rate(vdd float64) float64 { return f.Model.Rate(vdd) }
+
+// At implements Fabric. Only stored-1 cells can flip (toward reset), so
+// hitting the marginal rate over random data needs twice the per-one
+// flip probability, capped at 1 — the same halving the SRAM fabric
+// applies for its preferred-bit coin.
+func (f *MRAM) At(vdd float64) Epoch {
+	p := 2 * f.Model.Rate(vdd)
+	if p > 1 {
+		p = 1
+	}
+	// Folding the supply bits into the salt re-draws the disturb pattern
+	// whenever the schedule moves the supply: epochs decorrelate, which
+	// is the temporal character the conformance suite pins.
+	salt := mix64(f.Seed*0x9e3779b97f4a7c15 ^ math.Float64bits(vdd))
+	return mramEpoch{salt: salt, flipProb: p}
+}
+
+type mramEpoch struct {
+	salt     uint64
+	flipProb float64
+}
+
+// ReadBit implements Epoch: toward-reset only — a stored 0 always reads
+// clean.
+func (e mramEpoch) ReadBit(cellID uint64, stored uint8) uint8 {
+	if stored == 0 {
+		return 0
+	}
+	if u53(mix64(cellID^e.salt)) < e.flipProb {
+		return 0
+	}
+	return 1
+}
+
+// ReadCode implements Epoch.
+func (e mramEpoch) ReadCode(code uint8, baseCellID uint64, nLSB int) uint8 {
+	return readCodeBits(e, code, baseCellID, nLSB)
+}

@@ -21,8 +21,9 @@ import (
 	"cimsa/internal/fixed"
 )
 
-// Fabric is a virtual sea of SRAM cells with frozen process variation.
-type Fabric struct {
+// SRAM is the paper's fabric: a virtual sea of SRAM cells with frozen
+// process variation. It implements Fabric.
+type SRAM struct {
 	// Model converts a supply voltage to a pseudo-read error rate.
 	Model device.ErrorModel
 	// Seed selects the fabricated chip; two fabrics with the same seed
@@ -30,13 +31,51 @@ type Fabric struct {
 	Seed uint64
 }
 
-// NewFabric builds a fabric over the default 16 nm error model.
-func NewFabric(seed uint64) *Fabric {
-	return &Fabric{Model: device.DefaultErrorModel(), Seed: seed}
+// NewFabric builds an SRAM fabric over the default 16 nm error model.
+func NewFabric(seed uint64) *SRAM {
+	return &SRAM{Model: device.DefaultErrorModel(), Seed: seed}
+}
+
+// Kind implements Fabric.
+func (f *SRAM) Kind() string { return KindSRAM }
+
+// Params implements Fabric: the committed error-model constants plus
+// the chip seed.
+func (f *SRAM) Params() string {
+	return fmt.Sprintf("max=%g v50=%g slope=%g seed=%d", f.Model.MaxRate, f.Model.V50, f.Model.Slope, f.Seed)
+}
+
+// Version implements Fabric; bump on any change to the SRAM bit stream
+// for a fixed (cell, vdd, seed).
+func (f *SRAM) Version() string { return "sram/v1" }
+
+// Rate implements Fabric.
+func (f *SRAM) Rate(vdd float64) float64 { return f.Model.Rate(vdd) }
+
+// At implements Fabric, hoisting the sigmoid-derived vulnerability
+// probability out of the per-cell loop exactly as the *Prob variants do.
+func (f *SRAM) At(vdd float64) Epoch {
+	return sramEpoch{f: f, vulnProb: f.VulnProb(vdd)}
+}
+
+// sramEpoch is one SRAM pseudo-read pass at a fixed supply.
+type sramEpoch struct {
+	f        *SRAM
+	vulnProb float64
+}
+
+// ReadBit implements Epoch.
+func (e sramEpoch) ReadBit(cellID uint64, stored uint8) uint8 {
+	return e.f.ReadBitProb(cellID, stored, e.vulnProb)
+}
+
+// ReadCode implements Epoch; bit-identical to ApplyToCodeProb.
+func (e sramEpoch) ReadCode(code uint8, baseCellID uint64, nLSB int) uint8 {
+	return e.f.ApplyToCodeProb(code, baseCellID, e.vulnProb, nLSB)
 }
 
 // cellHash gives the cell's fabrication fingerprint: 64 stable bits.
-func (f *Fabric) cellHash(cellID uint64) uint64 {
+func (f *SRAM) cellHash(cellID uint64) uint64 {
 	x := cellID ^ f.Seed*0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -51,7 +90,7 @@ func (f *Fabric) cellHash(cellID uint64) uint64 {
 // twice the rate, capped at 1. The conversion involves the error-model
 // sigmoid (an exp); hot paths that sweep many cells at one supply should
 // compute it once and use the *Prob variants below.
-func (f *Fabric) VulnProb(vdd float64) float64 {
+func (f *SRAM) VulnProb(vdd float64) float64 {
 	p := 2 * f.Model.Rate(vdd)
 	if p > 1 {
 		p = 1
@@ -62,13 +101,13 @@ func (f *Fabric) VulnProb(vdd float64) float64 {
 // CellState reports whether the cell is vulnerable at supply vdd and
 // which bit value it prefers. Vulnerability is monotone: a cell
 // vulnerable at some V_DD stays vulnerable at every lower V_DD.
-func (f *Fabric) CellState(cellID uint64, vdd float64) (vulnerable bool, preferred uint8) {
+func (f *SRAM) CellState(cellID uint64, vdd float64) (vulnerable bool, preferred uint8) {
 	return f.CellStateProb(cellID, f.VulnProb(vdd))
 }
 
 // CellStateProb is CellState with the vulnerability probability already
 // converted from V_DD (see VulnProb).
-func (f *Fabric) CellStateProb(cellID uint64, vulnProb float64) (vulnerable bool, preferred uint8) {
+func (f *SRAM) CellStateProb(cellID uint64, vulnProb float64) (vulnerable bool, preferred uint8) {
 	h := f.cellHash(cellID)
 	preferred = uint8(h & 1)
 	// 53 uniform bits -> u in [0,1).
@@ -78,13 +117,13 @@ func (f *Fabric) CellStateProb(cellID uint64, vulnProb float64) (vulnerable bool
 
 // ReadBit returns the value observed when pseudo-reading a cell that was
 // written with `stored` at supply vdd.
-func (f *Fabric) ReadBit(cellID uint64, stored uint8, vdd float64) uint8 {
+func (f *SRAM) ReadBit(cellID uint64, stored uint8, vdd float64) uint8 {
 	return f.ReadBitProb(cellID, stored, f.VulnProb(vdd))
 }
 
 // ReadBitProb is ReadBit with the vulnerability probability already
 // converted from V_DD (see VulnProb).
-func (f *Fabric) ReadBitProb(cellID uint64, stored uint8, vulnProb float64) uint8 {
+func (f *SRAM) ReadBitProb(cellID uint64, stored uint8, vulnProb float64) uint8 {
 	vulnerable, preferred := f.CellStateProb(cellID, vulnProb)
 	if vulnerable {
 		return preferred
@@ -96,7 +135,7 @@ func (f *Fabric) ReadBitProb(cellID uint64, stored uint8, vulnProb float64) uint
 // baseCellID + b. Only the nLSB least significant bit planes operate at
 // the reduced vdd; the remaining MSBs run at nominal supply and read
 // back clean (the paper's MSB/LSB split placement, Fig. 5c).
-func (f *Fabric) ApplyToCode(code uint8, baseCellID uint64, vdd float64, nLSB int) uint8 {
+func (f *SRAM) ApplyToCode(code uint8, baseCellID uint64, vdd float64, nLSB int) uint8 {
 	if nLSB <= 0 {
 		return code
 	}
@@ -107,7 +146,7 @@ func (f *Fabric) ApplyToCode(code uint8, baseCellID uint64, vdd float64, nLSB in
 // already converted from V_DD (see VulnProb). Write-back epochs sweep
 // every cell of every window at one supply, so they pay the error-model
 // sigmoid once per window instead of once per cell.
-func (f *Fabric) ApplyToCodeProb(code uint8, baseCellID uint64, vulnProb float64, nLSB int) uint8 {
+func (f *SRAM) ApplyToCodeProb(code uint8, baseCellID uint64, vulnProb float64, nLSB int) uint8 {
 	if nLSB <= 0 {
 		return code
 	}
@@ -121,11 +160,58 @@ func (f *Fabric) ApplyToCodeProb(code uint8, baseCellID uint64, vulnProb float64
 	return out
 }
 
-// CellID composes a unique cell identifier from a window index, a
-// position within the window, and a bit plane, so every physical bit in
-// the chip has a stable address.
+// Cell-identifier packing. Every physical bit in the chip has a stable
+// 64-bit address composed of four fields:
+//
+//	bit 63      : namespace flag — 0 for weight-window cells (CellID),
+//	              1 for the spin-register cells of the noisy-spins
+//	              ablation (SpinCellID). Reserving the bit keeps the two
+//	              populations disjoint at any cluster count, instead of
+//	              colliding once a level reaches 2^20 windows.
+//	bits 32..62 : window index (31 bits)
+//	bits 20..31 : row within the window (12 bits)
+//	bits  8..19 : column within the window (12 bits)
+//	bits  0..7  : bit plane (8 bits)
+//
+// The widths are enforced: an out-of-range coordinate would silently
+// alias another cell's variation, so it panics instead (it is always a
+// caller bug — provisioned windows are at most pMax²+2pMax = 80 rows).
+const (
+	cellWindowBits = 31
+	cellRowBits    = 12
+	cellColBits    = 12
+	cellBitBits    = 8
+	// spinNamespace marks cell IDs of the noisy-spins ablation's
+	// virtual spin registers (bit 63).
+	spinNamespace = uint64(1) << 63
+)
+
+// CellID composes the cell identifier of weight bit `bit` at (row, col)
+// of the given window. See the packing contract above; out-of-range
+// coordinates panic.
 func CellID(window, row, col, bit int) uint64 {
+	checkField("window", window, cellWindowBits)
+	checkField("row", row, cellRowBits)
+	checkField("col", col, cellColBits)
+	checkField("bit", bit, cellBitBits)
 	return uint64(window)<<32 | uint64(row)<<20 | uint64(col)<<8 | uint64(bit)
+}
+
+// SpinCellID composes the cell identifier of the virtual spin-register
+// cell for (cluster, slot) — the noisy-spins ablation's input bits.
+// The reserved namespace bit keeps these disjoint from every weight
+// cell at any cluster count; out-of-range coordinates panic.
+func SpinCellID(cluster, slot int) uint64 {
+	checkField("cluster", cluster, cellWindowBits)
+	checkField("slot", slot, cellRowBits)
+	return spinNamespace | uint64(cluster)<<32 | uint64(slot)<<20
+}
+
+// checkField guards one packed field against silent aliasing.
+func checkField(name string, v, bits int) {
+	if v < 0 || v >= 1<<bits {
+		panic(fmt.Sprintf("noise: cell %s %d outside its %d-bit field", name, v, bits))
+	}
 }
 
 // Schedule is the paper's annealing schedule (§V): epochs of EpochIters
@@ -212,12 +298,12 @@ func NoNoise(iters int) Schedule {
 }
 
 // CalibrateFabric runs the device Monte Carlo for the given cell
-// parameters, fits the error-rate sigmoid and returns a fabric driven by
-// it — the full physics-to-annealer calibration pipeline. Use
+// parameters, fits the error-rate sigmoid and returns an SRAM fabric
+// driven by it — the full physics-to-annealer calibration pipeline. Use
 // NewFabric for the pre-committed 16 nm model; use this when exploring
 // different cell designs (e.g. other mismatch corners or bit-line
 // capacitances).
-func CalibrateFabric(p device.CellParams, samples int, seed uint64) (*Fabric, error) {
+func CalibrateFabric(p device.CellParams, samples int, seed uint64) (*SRAM, error) {
 	if samples < 50 {
 		return nil, fmt.Errorf("noise: need >= 50 Monte Carlo samples, got %d", samples)
 	}
@@ -227,5 +313,5 @@ func CalibrateFabric(p device.CellParams, samples int, seed uint64) (*Fabric, er
 	if err != nil {
 		return nil, err
 	}
-	return &Fabric{Model: model, Seed: seed}, nil
+	return &SRAM{Model: model, Seed: seed}, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"cimsa"
 	"cimsa/internal/checkpoint"
+	"cimsa/internal/noise"
 	"cimsa/internal/problem"
 )
 
@@ -78,11 +79,25 @@ type OptionsSpec struct {
 	Workers      int  `json:"workers,omitempty"`
 	Reference    bool `json:"reference,omitempty"`
 	SkipHardware bool `json:"skip_hardware,omitempty"`
+	// Fabric selects the noise substrate; omitted means the paper's
+	// SRAM fabric with the pre-fabric seed derivation, so journal
+	// records written before fabrics existed replay identically.
+	Fabric *FabricSpec `json:"fabric,omitempty"`
+}
+
+// FabricSpec is the wire form of the fabric selection. Decoding is
+// strict (the submit decoder disallows unknown fields recursively), so
+// a misspelled field here is a 400, not a silently ignored option.
+type FabricSpec struct {
+	// Kind names the substrate: "sram", "mram", "fefet" or "clean".
+	Kind string `json:"kind"`
+	// Seed pins the fabricated chip; 0 derives it from the solve seed.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // ToOptions maps the wire options onto cimsa.Options.
 func (o OptionsSpec) ToOptions() cimsa.Options {
-	return cimsa.Options{
+	opts := cimsa.Options{
 		PMax:         o.PMax,
 		Seed:         o.Seed,
 		Mode:         o.Mode,
@@ -92,6 +107,11 @@ func (o OptionsSpec) ToOptions() cimsa.Options {
 		Reference:    o.Reference,
 		SkipHardware: o.SkipHardware,
 	}
+	if o.Fabric != nil {
+		opts.Fabric = o.Fabric.Kind
+		opts.FabricSeed = o.Fabric.Seed
+	}
+	return opts
 }
 
 // TaskFromSpec resolves the spec's instance source (exactly one of
@@ -181,6 +201,15 @@ const SolverVersion = "tsp/v1"
 // and nothing else. Parallel and Workers are deliberately excluded:
 // results are bit-identical at every worker count (enforced by the
 // determinism tests), so they are execution detail, not design.
+//
+// The fabric's identity (kind, model parameters, implementation
+// version) is folded via the registry, so the result cache can never
+// serve a solve made under one substrate as another's: two jobs that
+// differ only in fabric hash apart, and a fabric implementation bumping
+// its Version invalidates exactly its own cached entries. An omitted
+// fabric canonicalizes to the SRAM default ("" and "sram" hash equal),
+// which keeps pre-fabric journal records aliasing their modern
+// equivalents.
 func (t *Task) DesignHash() string {
 	h := problem.NewHasher(Name)
 	h.String(SolverVersion)
@@ -190,6 +219,15 @@ func (t *Task) DesignHash() string {
 	h.Int(int64(t.opts.Restarts))
 	h.Uint(boolBit(t.opts.Reference))
 	h.Uint(boolBit(t.opts.SkipHardware))
+	if f, err := noise.New(t.opts.Fabric, t.opts.FabricSeed); err != nil {
+		// An unknown kind never reaches the solver (Validate rejects
+		// it), but DesignHash must stay total; fold the raw name.
+		h.String("fabric?" + t.opts.Fabric)
+	} else {
+		h.String(f.Kind())
+		h.String(f.Params())
+		h.String(f.Version())
+	}
 	return h.Sum()
 }
 

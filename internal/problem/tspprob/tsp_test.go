@@ -1,0 +1,54 @@
+package tspprob
+
+import (
+	"testing"
+
+	"cimsa"
+)
+
+// TestDesignHashFoldsFabric is the regression test for the cache-key
+// half of the fabric refactor: two solves that differ only in noise
+// substrate must never share a result-cache entry, so their DesignHash
+// values must differ — while the pre-fabric spelling of the default
+// ("" vs "sram") must hash identically, or every journal record written
+// before the refactor would re-solve on replay.
+func TestDesignHashFoldsFabric(t *testing.T) {
+	in := cimsa.GenerateInstance("dh", 16, 1)
+	hash := func(o cimsa.Options) string { return New(in, o).DesignHash() }
+
+	base := hash(cimsa.Options{})
+	if got := hash(cimsa.Options{Fabric: "sram"}); got != base {
+		t.Errorf("explicit sram hashes %s, implicit default %s — aliases must match", got, base)
+	}
+
+	seen := map[string]string{"": base}
+	for _, kind := range []string{"mram", "fefet", "clean"} {
+		h := hash(cimsa.Options{Fabric: kind})
+		for prev, ph := range seen {
+			if h == ph {
+				t.Errorf("fabric %q and %q share DesignHash %s", kind, prev, h)
+			}
+		}
+		seen[kind] = h
+	}
+
+	// The chip seed is part of the die identity for every noisy fabric.
+	for _, kind := range []string{"sram", "mram", "fefet"} {
+		a := hash(cimsa.Options{Fabric: kind, FabricSeed: 5})
+		b := hash(cimsa.Options{Fabric: kind, FabricSeed: 6})
+		if a == b {
+			t.Errorf("fabric %q: FabricSeed 5 and 6 share DesignHash %s", kind, a)
+		}
+	}
+	// The clean fabric has no dice to roll: seed must not split the
+	// cache into identical entries.
+	if a, b := hash(cimsa.Options{Fabric: "clean", FabricSeed: 5}), hash(cimsa.Options{Fabric: "clean", FabricSeed: 6}); a != b {
+		t.Errorf("clean fabric: FabricSeed changed DesignHash (%s vs %s) despite changing nothing", a, b)
+	}
+
+	// Unknown kinds are rejected by Validate before any solve, but
+	// DesignHash must stay total and collision-free against real kinds.
+	if got := hash(cimsa.Options{Fabric: "bogus"}); got == base {
+		t.Errorf("unknown fabric kind collides with the default DesignHash")
+	}
+}

@@ -51,6 +51,16 @@ func FuzzSubmitDecode(f *testing.F) {
 		`{"ising":[1,2,3]}`,
 		`{"maxcut":"not-an-object"}`,
 		`not json at all`,
+		// Fabric selection: valid kinds, the unknown-kind reject, the
+		// strict-decode 400s for misspelled or mistyped fabric sections.
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kind":"mram"}}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kind":"fefet","seed":7}}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kind":"ecram"}}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kin":"sram"}}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kind":"sram","sead":3}}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":"mram"}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":["sram"]}}}`,
+		`{"problem":"tsp","tsp":{"generate":{"n":50,"seed":1},"options":{"fabric":{"kind":"clean","seed":-1}}}}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
