@@ -125,6 +125,51 @@ func TestFacadeResumeRejectsCorrupt(t *testing.T) {
 	}
 }
 
+// TestFacadeResumeRejectsCrossFabric writes a checkpoint under the
+// default SRAM fabric, then tries to resume it under MRAM: the
+// bit-flip streams differ, so a silent resume would diverge from both
+// uninterrupted runs. The resume must fail with an ErrMismatch
+// diagnostic naming the fabric, and a same-fabric control must still
+// resume cleanly from the identical file.
+func TestFacadeResumeRejectsCrossFabric(t *testing.T) {
+	in := cimsa.GenerateInstance("facade-ckpt-fabric", 200, 3)
+	dir := t.TempDir()
+	opt := ckptOptions(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	events := 0
+	opt.Progress = func(cimsa.ProgressEvent) {
+		events++
+		if events == 4 {
+			cancel()
+		}
+	}
+	if _, err := cimsa.SolveContext(ctx, in, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupt: got %v", err)
+	}
+
+	cross := ckptOptions(dir)
+	cross.Fabric = "mram"
+	cross.Checkpoint.Resume = true
+	_, err := cimsa.Solve(in, cross)
+	if err == nil {
+		t.Fatal("checkpoint annealed under sram resumed under mram")
+	}
+	if !strings.Contains(err.Error(), "fabric") {
+		t.Fatalf("diagnostic %q does not name the fabric", err)
+	}
+
+	same := ckptOptions(dir)
+	same.Checkpoint.Resume = true
+	resumed := false
+	same.Checkpoint.OnResume = func(string) { resumed = true }
+	if _, err := cimsa.Solve(in, same); err != nil {
+		t.Fatalf("same-fabric control failed to resume: %v", err)
+	}
+	if !resumed {
+		t.Fatal("same-fabric control did not resume from the checkpoint")
+	}
+}
+
 // TestFacadeCheckpointCadence: EveryEpochs thins epoch snapshots.
 func TestFacadeCheckpointCadence(t *testing.T) {
 	in := cimsa.GenerateInstance("facade-ckpt-cadence", 160, 3)

@@ -45,9 +45,13 @@ import (
 // Magic identifies a checkpoint file; Version is the format revision.
 // Decode rejects any other magic or version (no forward compatibility:
 // a newer writer's file is refused rather than misread).
+// Version 2 added the fabric identity triple (kind, params, version) so
+// a snapshot annealed under one noise fabric cannot silently resume
+// under another; version-1 files are refused with ErrInvalid version
+// skew and the caller solves fresh.
 const (
 	Magic   = "CIMSACK1"
-	Version = 1
+	Version = 2
 )
 
 // Sentinel errors. Every decode failure wraps ErrInvalid; every
@@ -83,6 +87,15 @@ type Snapshot struct {
 	Restarts int
 	Strategy cluster.Strategy
 	Schedule noise.Schedule
+	// FabricKind/FabricParams/FabricVersion identify the noise fabric
+	// the run annealed under (the canonical kind, the implementation's
+	// parameter string at the configured fabric seed, and its version
+	// tag). Two fabrics with different identities draw different bit-flip
+	// streams, so resuming across them would silently diverge from both
+	// uninterrupted runs; Verify rejects the resume instead.
+	FabricKind    string
+	FabricParams  string
+	FabricVersion string
 	// RNG is rng.New(Seed).State() as computed by the writer.
 	RNG [4]uint64
 	// Restart is the replica index the run was in when snapshotted.
@@ -160,6 +173,9 @@ func Encode(w io.Writer, s *Snapshot) error {
 	p.u32(uint32(s.Schedule.EpochIters))
 	p.u32(uint32(s.Schedule.StartLSBs))
 	p.bool(s.Schedule.FixedLSBs)
+	p.str(s.FabricKind)
+	p.str(s.FabricParams)
+	p.str(s.FabricVersion)
 	for _, v := range s.RNG {
 		p.u64(v)
 	}
@@ -253,6 +269,9 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	s.Schedule.EpochIters = int(d.u32n(maxIter, "epoch iters"))
 	s.Schedule.StartLSBs = int(d.u32n(64, "start LSBs"))
 	s.Schedule.FixedLSBs = d.bool()
+	s.FabricKind = d.str(maxNameLen, "fabric kind")
+	s.FabricParams = d.str(maxNameLen, "fabric params")
+	s.FabricVersion = d.str(maxNameLen, "fabric version")
 	for i := range s.RNG {
 		s.RNG[i] = d.u64()
 	}
@@ -306,6 +325,10 @@ type Expect struct {
 	Restarts int // effective count (>= 1)
 	Strategy cluster.Strategy
 	Schedule noise.Schedule
+	// Fabric identity of the running configuration (see Snapshot).
+	FabricKind    string
+	FabricParams  string
+	FabricVersion string
 }
 
 // Verify checks that the snapshot belongs to this instance and
@@ -338,6 +361,15 @@ func (s *Snapshot) Verify(in *tsplib.Instance, exp Expect) error {
 	}
 	if s.Schedule != exp.Schedule {
 		return fail("schedule %+v, checkpoint has %+v", exp.Schedule, s.Schedule)
+	}
+	if s.FabricKind != exp.FabricKind {
+		return fail("fabric kind %q, checkpoint was annealed under %q", exp.FabricKind, s.FabricKind)
+	}
+	if s.FabricParams != exp.FabricParams {
+		return fail("fabric params %q, checkpoint has %q", exp.FabricParams, s.FabricParams)
+	}
+	if s.FabricVersion != exp.FabricVersion {
+		return fail("fabric version %q, checkpoint has %q", exp.FabricVersion, s.FabricVersion)
 	}
 	if want := Fingerprint(s.Seed); s.RNG != want {
 		return fail("RNG fingerprint %x, this build derives %x from seed %d (generator stream drifted between releases)",

@@ -23,11 +23,14 @@ func testInstance() *tsplib.Instance {
 
 func testExpect() Expect {
 	return Expect{
-		Seed:     7,
-		Mode:     clustered.ModeNoisyCIM.String(),
-		Restarts: 2,
-		Strategy: cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
-		Schedule: noise.PaperSchedule(),
+		Seed:          7,
+		Mode:          clustered.ModeNoisyCIM.String(),
+		Restarts:      2,
+		Strategy:      cluster.Strategy{Kind: cluster.SemiFlex, P: 3},
+		Schedule:      noise.PaperSchedule(),
+		FabricKind:    "sram",
+		FabricParams:  "max=0.1 v50=0.43 slope=20 seed=0",
+		FabricVersion: "sram/v1",
 	}
 }
 
@@ -41,19 +44,22 @@ func testSnapshot(in *tsplib.Instance) *Snapshot {
 		tour[i] = (i + 11) % in.N()
 	}
 	return &Snapshot{
-		Instance:     in.Name,
-		N:            in.N(),
-		InstanceHash: InstanceHash(in),
-		Seed:         exp.Seed,
-		Mode:         exp.Mode,
-		Restarts:     exp.Restarts,
-		Strategy:     exp.Strategy,
-		Schedule:     exp.Schedule,
-		RNG:          Fingerprint(exp.Seed),
-		Restart:      1,
-		BestTour:     tour,
-		BestLength:   1234.5,
-		AggStats:     clustered.Stats{Levels: 4, BottomWindows: 20, Iterations: 1600, Proposed: 900, Accepted: 333, WriteBacks: 160, Cycles: 9600, WeightWrites: 88000, BoundaryTransferBits: 4242},
+		Instance:      in.Name,
+		N:             in.N(),
+		InstanceHash:  InstanceHash(in),
+		Seed:          exp.Seed,
+		Mode:          exp.Mode,
+		Restarts:      exp.Restarts,
+		Strategy:      exp.Strategy,
+		Schedule:      exp.Schedule,
+		FabricKind:    exp.FabricKind,
+		FabricParams:  exp.FabricParams,
+		FabricVersion: exp.FabricVersion,
+		RNG:           Fingerprint(exp.Seed),
+		Restart:       1,
+		BestTour:      tour,
+		BestLength:    1234.5,
+		AggStats:      clustered.Stats{Levels: 4, BottomWindows: 20, Iterations: 1600, Proposed: 900, Accepted: 333, WriteBacks: 160, Cycles: 9600, WeightWrites: 88000, BoundaryTransferBits: 4242},
 		Solver: &clustered.Snapshot{
 			TopOrder: []int{2, 0, 1, 3},
 			Done:     [][][]int{{{1, 0}, {0, 1, 2}}, {{0}, {2, 1, 0}, {1, 0}}},
@@ -110,11 +116,16 @@ func TestVerifyAcceptsMatching(t *testing.T) {
 func TestVerifyRejectsMismatches(t *testing.T) {
 	in := testInstance()
 	cases := map[string]func(s *Snapshot, exp *Expect, in2 **tsplib.Instance){
-		"seed":     func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Seed = 8 },
-		"mode":     func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Mode = "greedy" },
-		"restarts": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Restarts = 3 },
-		"strategy": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Strategy.P = 4 },
-		"schedule": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Schedule.Epochs = 9 },
+		"seed":        func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Seed = 8 },
+		"mode":        func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Mode = "greedy" },
+		"restarts":    func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Restarts = 3 },
+		"strategy":    func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Strategy.P = 4 },
+		"schedule":    func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.Schedule.Epochs = 9 },
+		"fabric-kind": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.FabricKind = "mram" },
+		"fabric-params": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) {
+			exp.FabricParams = "max=0.1 v50=0.43 slope=20 seed=9"
+		},
+		"fabric-version": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) { exp.FabricVersion = "sram/v2" },
 		"rng-fingerprint": func(s *Snapshot, exp *Expect, _ **tsplib.Instance) {
 			s.RNG[2]++
 		},

@@ -119,33 +119,57 @@ func (a *Annealer) CheckpointExpect() checkpoint.Expect {
 	if restarts < 1 {
 		restarts = 1
 	}
+	kind, params, version := a.fabricIdentity()
 	return checkpoint.Expect{
-		Seed:     a.cfg.Seed,
-		Mode:     a.cfg.Mode.String(),
-		Restarts: restarts,
-		Strategy: a.cfg.Strategy,
-		Schedule: a.cfg.Schedule,
+		Seed:          a.cfg.Seed,
+		Mode:          a.cfg.Mode.String(),
+		Restarts:      restarts,
+		Strategy:      a.cfg.Strategy,
+		Schedule:      a.cfg.Schedule,
+		FabricKind:    kind,
+		FabricParams:  params,
+		FabricVersion: version,
 	}
+}
+
+// fabricIdentity renders the configured noise substrate's identity for
+// checkpoint verification: the canonical kind, the implementation's
+// parameter string at the configured fabric seed, and its version tag.
+// Per-replica fabric seeds derive from Config.Seed and Config.FabricSeed
+// — both captured here or in Expect.Seed — so this triple pins the
+// entire noise stream: a snapshot resumed under a different fabric (or a
+// re-seeded chip) is rejected instead of silently diverging.
+func (a *Annealer) fabricIdentity() (kind, params, version string) {
+	f, err := noise.New(a.cfg.Fabric, a.cfg.FabricSeed)
+	if err != nil {
+		// New validated the kind already; unreachable.
+		panic(fmt.Sprintf("core: fabric identity: %v", err))
+	}
+	return f.Kind(), f.Params(), f.Version()
 }
 
 // snapshot assembles the durable checkpoint for the given replica
 // index: the run identity, the best tour so far, the completed
 // replicas' aggregated stats, and (mid-replica) the solver state.
 func (a *Annealer) snapshot(in *tsplib.Instance, hash uint64, restarts, rep int, best *clustered.Result, agg *clustered.Stats, solver *clustered.Snapshot) *checkpoint.Snapshot {
+	kind, params, version := a.fabricIdentity()
 	s := &checkpoint.Snapshot{
-		Instance:     in.Name,
-		N:            in.N(),
-		InstanceHash: hash,
-		Seed:         a.cfg.Seed,
-		Mode:         a.cfg.Mode.String(),
-		Restarts:     restarts,
-		Strategy:     a.cfg.Strategy,
-		Schedule:     a.cfg.Schedule,
-		RNG:          checkpoint.Fingerprint(a.cfg.Seed),
-		Restart:      rep,
-		BestLength:   best.Length,
-		AggStats:     *agg,
-		Solver:       solver,
+		Instance:      in.Name,
+		N:             in.N(),
+		InstanceHash:  hash,
+		Seed:          a.cfg.Seed,
+		Mode:          a.cfg.Mode.String(),
+		Restarts:      restarts,
+		Strategy:      a.cfg.Strategy,
+		Schedule:      a.cfg.Schedule,
+		FabricKind:    kind,
+		FabricParams:  params,
+		FabricVersion: version,
+		RNG:           checkpoint.Fingerprint(a.cfg.Seed),
+		Restart:       rep,
+		BestLength:    best.Length,
+		AggStats:      *agg,
+		Solver:        solver,
 	}
 	if len(best.Tour) > 0 {
 		s.BestTour = append([]int(nil), best.Tour...)

@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"cimsa/internal/problem"
+)
+
+// Transport is the worker's view of a coordinator. *Coordinator
+// implements it directly (in-process fleets, fault-injection tests) and
+// *Client implements it over HTTP; a worker cannot tell the difference,
+// which is what lets the fault injector drive real protocol paths
+// without sockets.
+type Transport interface {
+	Register(node string) error
+	Heartbeat(node string) (cancels []string, err error)
+	Claim(node string) (*Grant, error)
+	ShipCheckpoint(jobID, node string, token uint64, name string, data []byte) error
+	Progress(jobID, node string, token uint64, ev problem.Progress) error
+	Complete(jobID, node string, token uint64, res *problem.Result, errMsg string) error
+}
+
+var (
+	_ Transport = (*Coordinator)(nil)
+	_ Transport = (*Client)(nil)
+)
+
+const (
+	headerNode     = "X-Fleet-Node"
+	headerToken    = "X-Fleet-Token"
+	headerCkptName = "X-Checkpoint-Name"
+)
+
+// maxShippedCheckpoint bounds a worker's checkpoint upload; snapshots
+// scale with instance size, and instances are already capped by
+// problem.Limits, so 64 MiB is generous.
+const maxShippedCheckpoint = 64 << 20
+
+// Routes mounts the fleet claim protocol on mux. The endpoints sit
+// beside the public job API on the coordinator's listener; sentinel
+// errors map to statuses the client reverses (404 unknown node, 410
+// claim gone), so workers see the same errors in- and cross-process.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		node, ok := decodeNode(w, r)
+		if !ok {
+			return
+		}
+		if err := c.Register(node); err != nil {
+			fleetError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		node, ok := decodeNode(w, r)
+		if !ok {
+			return
+		}
+		cancels, err := c.Heartbeat(node)
+		if err != nil {
+			fleetError(w, err)
+			return
+		}
+		writeJSON(w, struct {
+			Cancels []string `json:"cancels,omitempty"`
+		}{Cancels: cancels})
+	})
+	mux.HandleFunc("POST /v1/fleet/claim", func(w http.ResponseWriter, r *http.Request) {
+		node, ok := decodeNode(w, r)
+		if !ok {
+			return
+		}
+		g, err := c.Claim(node)
+		if err != nil {
+			fleetError(w, err)
+			return
+		}
+		if g == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, g)
+	})
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		node, token, ok := claimHeaders(w, r)
+		if !ok {
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxShippedCheckpoint+1))
+		if err != nil {
+			http.Error(w, "reading body", http.StatusBadRequest)
+			return
+		}
+		if len(data) > maxShippedCheckpoint {
+			http.Error(w, "checkpoint too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		name := r.Header.Get(headerCkptName)
+		if err := c.ShipCheckpoint(r.PathValue("id"), node, token, name, data); err != nil {
+			fleetError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		node, token, ok := claimHeaders(w, r)
+		if !ok {
+			return
+		}
+		var ev problem.Progress
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&ev); err != nil {
+			http.Error(w, "bad progress body", http.StatusBadRequest)
+			return
+		}
+		if err := c.Progress(r.PathValue("id"), node, token, ev); err != nil {
+			fleetError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/fleet/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		node, token, ok := claimHeaders(w, r)
+		if !ok {
+			return
+		}
+		var body completion
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxShippedCheckpoint)).Decode(&body); err != nil {
+			http.Error(w, "bad result body", http.StatusBadRequest)
+			return
+		}
+		if err := c.Complete(r.PathValue("id"), node, token, body.Result, body.Error); err != nil {
+			fleetError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Stats())
+	})
+}
+
+// completion is the /result body: exactly one of Result and Error set.
+type completion struct {
+	Result *problem.Result `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func decodeNode(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var body struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 4096)).Decode(&body); err != nil || body.Node == "" {
+		http.Error(w, "body must be {\"node\": ...}", http.StatusBadRequest)
+		return "", false
+	}
+	return body.Node, true
+}
+
+func claimHeaders(w http.ResponseWriter, r *http.Request) (node string, token uint64, ok bool) {
+	node = r.Header.Get(headerNode)
+	tok, err := strconv.ParseUint(r.Header.Get(headerToken), 10, 64)
+	if node == "" || err != nil {
+		http.Error(w, "missing claim headers", http.StatusBadRequest)
+		return "", 0, false
+	}
+	return node, tok, true
+}
+
+func fleetError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownNode):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrGone):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrBadNodeName):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client speaks the claim protocol to a remote coordinator. It reverses
+// the status mapping Routes applies, so transport-level callers get the
+// same sentinel errors as in-process ones.
+type Client struct {
+	// BaseURL is the coordinator's root, e.g. "http://host:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (cl *Client) httpc() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do posts body to path with optional claim headers and decodes a JSON
+// response into out (when out is non-nil and the response has a body).
+func (cl *Client) do(path string, headers map[string]string, contentType string, body []byte, out any) error {
+	req, err := http.NewRequest(http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := cl.httpc().Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if out != nil {
+			if err := json.NewDecoder(io.LimitReader(resp.Body, maxShippedCheckpoint)).Decode(out); err != nil {
+				return fmt.Errorf("fleet: %s: decoding response: %w", path, err)
+			}
+		}
+		return nil
+	case http.StatusNoContent:
+		return nil
+	case http.StatusNotFound:
+		return ErrUnknownNode
+	case http.StatusGone:
+		return ErrGone
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+func (cl *Client) postNode(path, node string, out any) error {
+	body, _ := json.Marshal(struct {
+		Node string `json:"node"`
+	}{node})
+	return cl.do(path, nil, "application/json", body, out)
+}
+
+func claimHeaderMap(node string, token uint64) map[string]string {
+	return map[string]string{
+		headerNode:  node,
+		headerToken: strconv.FormatUint(token, 10),
+	}
+}
+
+// Register implements Transport.
+func (cl *Client) Register(node string) error {
+	return cl.postNode("/v1/fleet/register", node, nil)
+}
+
+// Heartbeat implements Transport.
+func (cl *Client) Heartbeat(node string) ([]string, error) {
+	var out struct {
+		Cancels []string `json:"cancels"`
+	}
+	if err := cl.postNode("/v1/fleet/heartbeat", node, &out); err != nil {
+		return nil, err
+	}
+	return out.Cancels, nil
+}
+
+// Claim implements Transport; (nil, nil) means nothing claimable.
+func (cl *Client) Claim(node string) (*Grant, error) {
+	body, _ := json.Marshal(struct {
+		Node string `json:"node"`
+	}{node})
+	var g Grant
+	req, err := http.NewRequest(http.MethodPost, cl.BaseURL+"/v1/fleet/claim", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cl.httpc().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: claim: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxShippedCheckpoint)).Decode(&g); err != nil {
+			return nil, fmt.Errorf("fleet: claim: decoding grant: %w", err)
+		}
+		return &g, nil
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusNotFound:
+		return nil, ErrUnknownNode
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("fleet: claim: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+}
+
+// ShipCheckpoint implements Transport.
+func (cl *Client) ShipCheckpoint(jobID, node string, token uint64, name string, data []byte) error {
+	h := claimHeaderMap(node, token)
+	h[headerCkptName] = name
+	return cl.do("/v1/fleet/jobs/"+jobID+"/checkpoint", h, "application/octet-stream", data, nil)
+}
+
+// Progress implements Transport.
+func (cl *Client) Progress(jobID, node string, token uint64, ev problem.Progress) error {
+	body, _ := json.Marshal(ev)
+	return cl.do("/v1/fleet/jobs/"+jobID+"/progress", claimHeaderMap(node, token), "application/json", body, nil)
+}
+
+// Complete implements Transport.
+func (cl *Client) Complete(jobID, node string, token uint64, res *problem.Result, errMsg string) error {
+	body, err := json.Marshal(completion{Result: res, Error: errMsg})
+	if err != nil {
+		return fmt.Errorf("fleet: marshaling result: %w", err)
+	}
+	return cl.do("/v1/fleet/jobs/"+jobID+"/result", claimHeaderMap(node, token), "application/json", body, nil)
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cimsa/internal/fairsched"
+	"cimsa/internal/fleet"
 	"cimsa/internal/problem"
 	"cimsa/internal/problem/tspprob"
 
@@ -47,6 +48,10 @@ type Server struct {
 	// MaxBodyBytes bounds request bodies (default 32 MiB — TSPLIB
 	// uploads are line-oriented text and 100k cities fit comfortably).
 	MaxBodyBytes int64
+
+	// Fleet, when non-nil, reports coordinator fleet stats in /healthz
+	// (set by cmd/cimserve in coordinator mode).
+	Fleet func() fleet.Stats
 
 	// Journal-recovery state, reported by /healthz (503 while a Recover
 	// pass is still re-enqueuing jobs).
@@ -104,6 +109,7 @@ type ResultResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs:batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -126,6 +132,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if n := s.recoveryFailures.Load(); n > 0 {
 		resp["recovery_failures"] = n
+	}
+	if s.Fleet != nil {
+		resp["fleet"] = s.Fleet()
 	}
 	if s.recovering.Load() {
 		resp["status"] = "recovering"
@@ -206,6 +215,88 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxBatchJobs caps one batch submission; a bigger batch should be
+// split, not allowed to hold the scheduler lock arbitrarily long.
+const maxBatchJobs = 256
+
+// BatchEntry is one per-item outcome in a batch-submit response:
+// exactly one of Status and Error is set.
+type BatchEntry struct {
+	*Status `json:",omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleSubmitBatch accepts {"jobs": [SubmitRequest, ...]} and admits
+// the whole batch in one scheduler critical section with one journal
+// fsync — the amortization that makes submitting hundreds of small
+// instances cheap. Admission is per-item (each item still pays the
+// tenant's quota and rate token) and the response reports each item's
+// status or error in order; the HTTP status is 200 whenever the batch
+// itself was well-formed, even if every item was rejected.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	maxBody := s.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var body struct {
+		Jobs []SubmitRequest `json:"jobs"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(body.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(body.Jobs) > maxBatchJobs {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d jobs", maxBatchJobs))
+		return
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if tenant != "" && !fairsched.ValidName(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid X-Tenant header: need 1..64 bytes of [A-Za-z0-9._-]")
+		return
+	}
+	entries := make([]BatchEntry, len(body.Jobs))
+	items := make([]BatchItem, len(body.Jobs))
+	for i := range body.Jobs {
+		task, err := s.buildTask(&body.Jobs[i])
+		if err != nil {
+			entries[i].Error = err.Error()
+			continue
+		}
+		source, err := json.Marshal(&body.Jobs[i])
+		if err != nil {
+			entries[i].Error = "request not journalable: " + err.Error()
+			continue
+		}
+		items[i] = BatchItem{Task: task, Source: source}
+	}
+	results := s.sched.SubmitBatch(tenant, items)
+	for i, res := range results {
+		if entries[i].Error != "" {
+			continue // rejected before reaching the scheduler
+		}
+		switch {
+		case res.Err != nil:
+			entries[i].Error = res.Err.Error()
+		case res.Job != nil:
+			st := res.Job.Status()
+			entries[i].Status = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": entries})
+}
+
 // retryAfterSeconds renders a token-bucket wait as a whole-second
 // Retry-After value, rounded up and never below 1 (a Retry-After of 0
 // invites an immediate, equally doomed retry).
@@ -218,9 +309,17 @@ func retryAfterSeconds(d time.Duration) string {
 }
 
 // buildTask resolves the request to a validated task via the problem
-// registry. The errors name the offending field so clients learn the
-// schema from the 400, not from the source.
+// registry under the server's limits.
 func (s *Server) buildTask(req *SubmitRequest) (problem.Task, error) {
+	return TaskFor(req, s.Limits)
+}
+
+// TaskFor resolves a submit request to a validated task via the problem
+// registry. The errors name the offending field so clients learn the
+// schema from the 400, not from the source. Exported so fleet workers
+// rebuild a claimed job's task from its journaled source body through
+// exactly the path the coordinator validated it with.
+func TaskFor(req *SubmitRequest, limits problem.Limits) (problem.Task, error) {
 	type section struct {
 		name    string
 		payload json.RawMessage
@@ -256,7 +355,7 @@ func (s *Server) buildTask(req *SubmitRequest) (problem.Task, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown problem %q (registered: %s)", sec.name, strings.Join(problem.Names(), ", "))
 		}
-		task, err := t.NewTask(sec.payload, s.Limits)
+		task, err := t.NewTask(sec.payload, limits)
 		if err != nil {
 			// Adapters return concrete pointers; don't let a typed nil
 			// escape as a non-nil problem.Task.
@@ -273,7 +372,7 @@ func (s *Server) buildTask(req *SubmitRequest) (problem.Task, error) {
 			return nil, fmt.Errorf("problem %q needs its %q payload section", req.Problem, req.Problem)
 		}
 		spec := tspprob.Spec{Name: req.Name, TSPLIB: req.TSPLIB, Generate: req.Generate, Options: req.Options}
-		task, err := tspprob.TaskFromSpec(&spec, s.Limits)
+		task, err := tspprob.TaskFromSpec(&spec, limits)
 		if err != nil {
 			return nil, err
 		}

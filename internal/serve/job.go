@@ -8,6 +8,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -81,6 +82,12 @@ type Job struct {
 	// journaled marks a job with a live journal record to retire when it
 	// reaches a terminal state (set at submission, immutable afterwards).
 	journaled bool
+
+	// source is the job's journalable request body (nil when the
+	// submission carried none); set at submission, immutable afterwards.
+	// The fleet dispatcher ships it to whichever worker claims the job,
+	// so a remote node rebuilds exactly the task this scheduler admitted.
+	source json.RawMessage
 
 	mu        sync.Mutex
 	state     State

@@ -34,27 +34,42 @@ type Journal struct {
 // type; records from before the multi-problem registry omit it, which
 // replay treats as the legacy TSP-only schema. Tenant records the
 // job's canonical lane; records from before tenancy omit it and
-// recover under the default tenant.
+// recover under the default tenant. "claim" and "release" records
+// (written by the fleet coordinator) track which node holds a job's
+// lease; records from before the fleet never carry them and replay
+// identically.
 type journalRecord struct {
-	Op        string          `json:"op"` // "submit" | "end"
+	Op        string          `json:"op"` // "submit" | "end" | "claim" | "release"
 	ID        string          `json:"id"`
 	Problem   string          `json:"problem,omitempty"`
 	Tenant    string          `json:"tenant,omitempty"`
 	Submitted time.Time       `json:"submitted,omitempty"`
 	Request   json.RawMessage `json:"request,omitempty"`
+	// Node and Expires belong to "claim" records: the worker holding the
+	// job's lease and when that lease lapses.
+	Node    string    `json:"node,omitempty"`
+	Expires time.Time `json:"expires,omitempty"`
 }
 
 // JournalEntry is one live (unfinished) job found during replay.
 // Problem is empty for records written before the multi-problem
 // registry (the request body itself still identifies the problem);
 // Tenant is empty for records written before tenancy (the job recovers
-// under the default tenant).
+// under the default tenant). ClaimedBy carries the job's latest
+// unreleased fleet claim — informational on boot (every lease is void
+// once the coordinator restarts: workers must re-register and re-claim)
+// but preserved across compaction so operators can see where a job last
+// ran.
 type JournalEntry struct {
 	ID        string
 	Problem   string
 	Tenant    string
 	Submitted time.Time
 	Request   json.RawMessage
+	// ClaimedBy / ClaimExpires reflect the latest "claim" record not
+	// superseded by a "release"; empty when the job was never claimed.
+	ClaimedBy    string
+	ClaimExpires time.Time
 }
 
 // OpenJournal replays and compacts the journal at path (creating it if
@@ -82,6 +97,17 @@ func OpenJournal(path string) (*Journal, []JournalEntry, error) {
 			f.Close()
 			os.Remove(tmp)
 			return nil, nil, err
+		}
+		if e.ClaimedBy != "" {
+			// An outstanding claim survives compaction right behind its
+			// submit, so the who-held-this-last trail is as durable as the
+			// job itself.
+			claim := journalRecord{Op: "claim", ID: e.ID, Node: e.ClaimedBy, Expires: e.ClaimExpires}
+			if err := appendRecord(f, claim); err != nil {
+				f.Close()
+				os.Remove(tmp)
+				return nil, nil, err
+			}
 		}
 	}
 	if err := f.Sync(); err != nil {
@@ -139,6 +165,18 @@ func replayJournal(path string) ([]JournalEntry, error) {
 			open[rec.ID] = slot{entry: JournalEntry{ID: rec.ID, Problem: rec.Problem, Tenant: rec.Tenant, Submitted: rec.Submitted, Request: rec.Request}, seq: seq}
 		case "end":
 			delete(open, rec.ID)
+		case "claim":
+			if s, ok := open[rec.ID]; ok {
+				s.entry.ClaimedBy = rec.Node
+				s.entry.ClaimExpires = rec.Expires
+				open[rec.ID] = s
+			}
+		case "release":
+			if s, ok := open[rec.ID]; ok {
+				s.entry.ClaimedBy = ""
+				s.entry.ClaimExpires = time.Time{}
+				open[rec.ID] = s
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -194,6 +232,53 @@ func (j *Journal) Submitted(id, tenant string, submitted time.Time, problem stri
 // or canceled) — it will not be recovered on the next boot.
 func (j *Journal) Finished(id string) error {
 	return j.append(journalRecord{Op: "end", ID: id})
+}
+
+// Claimed records that node holds the job's lease until expires. The
+// fleet coordinator fsyncs this before handing the claim to the worker:
+// a claim the worker acts on is a claim the journal knows about.
+func (j *Journal) Claimed(id, node string, expires time.Time) error {
+	return j.append(journalRecord{Op: "claim", ID: id, Node: node, Expires: expires})
+}
+
+// Released voids the job's outstanding claim (lease expiry, node death
+// or an administrative revoke); the job is claimable again.
+func (j *Journal) Released(id string) error {
+	return j.append(journalRecord{Op: "release", ID: id})
+}
+
+// SubmitRecord is one submission in a SubmittedBatch append.
+type SubmitRecord struct {
+	ID        string
+	Tenant    string
+	Problem   string
+	Submitted time.Time
+	Request   json.RawMessage
+}
+
+// SubmittedBatch appends every record and fsyncs exactly once, so a
+// batch submit pays one durability barrier instead of N. All records
+// become durable together: if the sync fails, none of the batch may be
+// acknowledged.
+func (j *Journal) SubmittedBatch(recs []SubmitRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	for _, r := range recs {
+		rec := journalRecord{Op: "submit", ID: r.ID, Problem: r.Problem, Tenant: r.Tenant, Submitted: r.Submitted, Request: r.Request}
+		if err := appendRecord(j.f, rec); err != nil {
+			return err
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return nil
 }
 
 // Close releases the journal file.

@@ -398,3 +398,149 @@ func TestSubmitJournalsThroughHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalMixedVersionReplay replays a journal whose lines span the
+// service's whole history — a pre-multi-problem record (no problem
+// field, legacy TSP schema), a pre-tenancy/pre-fabric record, a modern
+// tenanted record with an explicit fabric, fleet claim/release records,
+// and a torn trailing line — and requires every surviving entry to be
+// recovered faithfully and to still build a runnable task.
+func TestJournalMixedVersionReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	lines := []string{
+		// v0: written before the multi-problem registry. No problem, no
+		// tenant; the request body is the legacy TSP-only schema.
+		`{"op":"submit","id":"v0","submitted":"2024-03-01T10:00:00Z","request":{"generate":{"name":"legacy","n":40,"seed":1},"options":{"pmax":2,"seed":1,"skip_hardware":true}}}`,
+		// v1: multi-problem era, but before tenancy and before fabrics.
+		`{"op":"submit","id":"v1","problem":"tsp","submitted":"2024-06-01T10:00:00Z","request":{"tsp":{"generate":{"name":"mid","n":40,"seed":2},"options":{"pmax":2,"seed":2,"skip_hardware":true}}}}`,
+		// gone: a job that finished before the crash; "end" retires it.
+		`{"op":"submit","id":"gone","problem":"tsp","submitted":"2024-06-02T10:00:00Z","request":{"generate":{"name":"gone","n":40,"seed":3},"options":{"pmax":2,"skip_hardware":true}}}`,
+		`{"op":"end","id":"gone"}`,
+		// v2: modern record — tenanted, explicit fabric selection.
+		`{"op":"submit","id":"v2","problem":"tsp","tenant":"acme","submitted":"2026-08-01T10:00:00Z","request":{"tsp":{"generate":{"name":"modern","n":40,"seed":4},"options":{"pmax":2,"seed":4,"skip_hardware":true,"fabric":{"kind":"mram","seed":7}}}}}`,
+		// Fleet era: v1 was claimed and released (lease expired), v2 holds
+		// an outstanding claim. A claim for a retired job is ignored.
+		`{"op":"claim","id":"v1","node":"w0","expires":"2026-08-01T10:01:00Z"}`,
+		`{"op":"release","id":"v1"}`,
+		`{"op":"claim","id":"v2","node":"w1","expires":"2026-08-01T10:02:00Z"}`,
+		`{"op":"claim","id":"gone","node":"w1","expires":"2026-08-01T10:02:00Z"}`,
+		// Torn trailing line: the crash hit mid-append.
+		`{"op":"submit","id":"torn","probl`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, entries := openTestJournal(t, path)
+	if len(entries) != 3 {
+		t.Fatalf("replay returned %d entries (%+v), want 3", len(entries), entries)
+	}
+	byID := map[string]JournalEntry{}
+	for _, e := range entries {
+		byID[e.ID] = e
+	}
+	v0, v1, v2 := byID["v0"], byID["v1"], byID["v2"]
+	if v0.Problem != "" || v0.Tenant != "" || v0.ClaimedBy != "" {
+		t.Fatalf("pre-registry entry gained fields it never had: %+v", v0)
+	}
+	if v1.Problem != "tsp" || v1.Tenant != "" {
+		t.Fatalf("pre-tenancy entry mangled: %+v", v1)
+	}
+	if v1.ClaimedBy != "" {
+		t.Fatalf("released claim survived replay: %+v", v1)
+	}
+	if v2.Tenant != "acme" || v2.ClaimedBy != "w1" || v2.ClaimExpires.IsZero() {
+		t.Fatalf("modern entry lost tenancy or its outstanding claim: %+v", v2)
+	}
+	if entries[0].ID != "v0" || entries[1].ID != "v1" || entries[2].ID != "v2" {
+		t.Fatalf("submission order lost: %v, %v, %v", entries[0].ID, entries[1].ID, entries[2].ID)
+	}
+
+	// Every surviving generation must still build a runnable task
+	// through the same path Recover uses.
+	for _, e := range entries {
+		var req SubmitRequest
+		if err := json.Unmarshal(e.Request, &req); err != nil {
+			t.Fatalf("entry %s: request no longer parses: %v", e.ID, err)
+		}
+		task, err := TaskFor(&req, problem.Limits{})
+		if err != nil {
+			t.Fatalf("entry %s: request no longer builds a task: %v", e.ID, err)
+		}
+		if task.Problem() != "tsp" {
+			t.Fatalf("entry %s: rebuilt as %q", e.ID, task.Problem())
+		}
+	}
+}
+
+// TestJournalCompactionPreservesOutstandingClaims: compaction must keep
+// an unreleased claim record immediately behind its submit — and only
+// unreleased ones — without losing or duplicating any job.
+func TestJournalCompactionPreservesOutstandingClaims(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _ := openTestJournal(t, path)
+	ts := time.Unix(9000, 0).UTC()
+	exp := ts.Add(time.Minute)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := j.Submitted(id, "default", ts, "tsp", json.RawMessage(fmt.Sprintf(`{"job":%q}`, id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Claimed("a", "node-1", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Claimed("b", "node-2", exp); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Released("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Finished("c"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// First reopen: compaction runs with a's claim outstanding.
+	j2, entries := openTestJournal(t, path)
+	if len(entries) != 2 || entries[0].ID != "a" || entries[1].ID != "b" {
+		t.Fatalf("replay returned %+v", entries)
+	}
+	if entries[0].ClaimedBy != "node-1" || !entries[0].ClaimExpires.Equal(exp) {
+		t.Fatalf("outstanding claim lost in compaction: %+v", entries[0])
+	}
+	if entries[1].ClaimedBy != "" {
+		t.Fatalf("released claim resurrected by compaction: %+v", entries[1])
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(raw) != 3 {
+		t.Fatalf("compacted journal has %d lines, want 3 (submit a, claim a, submit b):\n%s", len(raw), data)
+	}
+	type rec struct {
+		Op   string `json:"op"`
+		ID   string `json:"id"`
+		Node string `json:"node"`
+	}
+	var ops []rec
+	for _, line := range raw {
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("compacted line %q: %v", line, err)
+		}
+		ops = append(ops, r)
+	}
+	want := []rec{{"submit", "a", ""}, {"claim", "a", "node-1"}, {"submit", "b", ""}}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("compacted records %+v, want %+v", ops, want)
+	}
+	j2.Close()
+
+	// Second reopen: compacting a compacted journal is a fixed point.
+	_, entries = openTestJournal(t, path)
+	if len(entries) != 2 || entries[0].ClaimedBy != "node-1" || entries[1].ClaimedBy != "" {
+		t.Fatalf("second compaction changed the entries: %+v", entries)
+	}
+}

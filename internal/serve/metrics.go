@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cimsa/internal/fleet"
 )
 
 // Metrics holds the service counters in a Prometheus-compatible text
@@ -48,6 +50,12 @@ type Metrics struct {
 	// CacheStats, when non-nil, supplies the live cache occupancy gauges
 	// (entry count, marshalled bytes); nil means caching is off.
 	CacheStats func() (entries int, bytes int64)
+
+	// FleetStats, when non-nil, supplies the coordinator's fleet snapshot
+	// for the cimserve_fleet_* families; nil means no fleet (standalone).
+	// Node labels come from registration-guarded names (the fairsched
+	// alphabet), so a hostile node ID cannot inject metric labels.
+	FleetStats func() fleet.Stats
 
 	// solveNanos and iterations accumulate over completed solves; their
 	// ratio is the service's aggregate iterations/sec.
@@ -313,6 +321,46 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			n += int64(c)
 			if err != nil {
 				return n, err
+			}
+		}
+	}
+	if m.FleetStats != nil {
+		fs := m.FleetStats()
+		for _, row := range []struct {
+			name, kind, help string
+			v                float64
+		}{
+			{"cimserve_fleet_nodes", "gauge", "Worker nodes currently registered with the coordinator.", float64(fs.Nodes)},
+			{"cimserve_fleet_jobs_claimable", "gauge", "Offered jobs waiting for a worker to claim them.", float64(fs.Claimable)},
+			{"cimserve_fleet_jobs_claimed", "gauge", "Offered jobs currently under a worker lease.", float64(fs.Claimed)},
+			{"cimserve_jobs_reassigned_total", "counter", "Leases revoked (expiry, node death or re-registration); the job became claimable again.", float64(fs.Reassigned)},
+			{"cimserve_fleet_stale_reports_total", "counter", "Worker calls rejected for naming a claim that no longer stands.", float64(fs.StaleDrops)},
+		} {
+			if err := emit(row.name, row.kind, row.help, row.v); err != nil {
+				return n, err
+			}
+		}
+		if len(fs.PerNode) > 0 {
+			for _, fam := range []struct {
+				name, kind, help string
+				v                func(fleet.NodeStats) int64
+			}{
+				{"cimserve_fleet_node_jobs_claimed", "gauge", "Leases currently held, by node.", func(ns fleet.NodeStats) int64 { return int64(ns.Claimed) }},
+				{"cimserve_fleet_node_jobs_completed_total", "counter", "Offers settled, by node.", func(ns fleet.NodeStats) int64 { return ns.Completed }},
+				{"cimserve_fleet_node_jobs_reassigned_total", "counter", "Leases revoked, by node.", func(ns fleet.NodeStats) int64 { return ns.Reassigned }},
+			} {
+				c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
+				n += int64(c)
+				if err != nil {
+					return n, err
+				}
+				for _, ns := range fs.PerNode {
+					c, err := fmt.Fprintf(w, "%s{node=%q} %s\n", fam.name, ns.Node, formatMetric(float64(fam.v(ns))))
+					n += int64(c)
+					if err != nil {
+						return n, err
+					}
+				}
 			}
 		}
 	}

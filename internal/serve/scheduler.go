@@ -16,6 +16,7 @@ import (
 
 	"cimsa/internal/checkpoint"
 	"cimsa/internal/fairsched"
+	"cimsa/internal/fleet"
 	"cimsa/internal/problem"
 	"cimsa/internal/rescache"
 )
@@ -23,6 +24,16 @@ import (
 // SolveFunc runs one job's solve. Production calls task.Solve; tests
 // and the fault-injection harness substitute stubs to script timing.
 type SolveFunc func(ctx context.Context, task problem.Task, run problem.Run) (*problem.Result, error)
+
+// FleetDispatcher hands a job to a fleet of remote workers and blocks
+// until one of them (possibly after failovers) returns its result. The
+// fleet coordinator implements it; the scheduler stays oblivious to
+// leases, claims and checkpoint shipping — dispatch is just another
+// solve path, so fairsched lanes, the result cache, SSE streams and
+// gauge accounting all apply unchanged in coordinator mode.
+type FleetDispatcher interface {
+	Offer(ctx context.Context, job fleet.Job, run problem.Run) (*problem.Result, error)
+}
 
 // Config sizes the scheduler.
 type Config struct {
@@ -78,6 +89,14 @@ type Config struct {
 	// onto one anneal. Zero values leave caching off.
 	CacheEntries int
 	CacheBytes   int64
+
+	// Fleet, when non-nil, turns this scheduler into a coordinator:
+	// jobs that carry a journalable request body are dispatched to
+	// remote workers through the fleet (claim/lease/checkpoint-shipping
+	// protocol, internal/fleet) instead of solving on the local slot.
+	// Jobs without a source (direct API submissions of in-memory tasks)
+	// still solve locally — they cannot be shipped.
+	Fleet FleetDispatcher
 
 	// Solve and Now are seams for tests and the fault-injection harness
 	// (internal/faultinject); nil means cimsa.SolveContext and time.Now.
@@ -217,24 +236,155 @@ func (s *Scheduler) SubmitTenantSource(tenant string, task problem.Task, source 
 	return s.enqueue(s.newID(), tenant, time.Time{}, task, source, false, true)
 }
 
+// BatchItem is one submission of a SubmitBatch call: a task plus its
+// journalable source body (nil source: the job is accepted but cannot
+// be recovered or fleet-dispatched, exactly like SubmitTenantSource).
+type BatchItem struct {
+	Task   problem.Task
+	Source json.RawMessage
+}
+
+// BatchResult pairs a batch item with its outcome: exactly one of Job
+// and Err is set.
+type BatchResult struct {
+	Job *Job
+	Err error
+}
+
+// SubmitBatch admits many jobs under one tenant in a single critical
+// section with a single journal fsync — the amortization that makes the
+// many-small-instances regime cheap: one HTTP round trip, one lock
+// acquisition, one durability barrier for the whole batch. Admission is
+// per-item (each item still pays the tenant's quotas and rate tokens, so
+// a batch cannot smuggle jobs past fairsched), and per-item failures
+// reject only that item. If the collective journal append fails, every
+// item journaled by it is rejected — none was acknowledged durable.
+func (s *Scheduler) SubmitBatch(tenant string, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	valid := make([]bool, len(items))
+	for i, it := range items {
+		if it.Task == nil {
+			out[i].Err = errors.New("serve: batch item has no task")
+			continue
+		}
+		if err := it.Task.Validate(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		valid[i] = true
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		for i := range out {
+			if valid[i] {
+				out[i].Err = ErrShuttingDown
+			}
+		}
+		return out
+	}
+	lane := s.fq.Canonical(tenant)
+	tm := s.Metrics.Tenant(lane)
+	now := s.cfg.Now()
+
+	// Phase 1: admit each item under the tenant's quotas and stage its
+	// journal record. Nothing is visible to workers yet.
+	var jobs []*Job // admitted jobs, in batch order
+	var idx []int   // jobs[k] answers items[idx[k]]
+	var recs []SubmitRecord
+	for i, it := range items {
+		if !valid[i] {
+			continue
+		}
+		if err := s.fq.Admit(lane); err != nil {
+			if errors.Is(err, fairsched.ErrClosed) {
+				err = ErrShuttingDown
+			} else {
+				s.Metrics.Rejected.Add(1)
+				tm.Rejected.Add(1)
+				if errors.Is(err, ErrRateLimited) {
+					s.Metrics.RateLimited.Add(1)
+				}
+				if errors.Is(err, fairsched.ErrQueueFull) {
+					err = ErrQueueFull
+				}
+			}
+			out[i].Err = err
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		job := &Job{
+			ID:          s.newID(),
+			Tenant:      lane,
+			task:        it.Task,
+			ctx:         ctx,
+			cancel:      cancel,
+			done:        make(chan struct{}),
+			state:       StateQueued,
+			replayLimit: s.cfg.ReplayBuffer,
+			source:      it.Source,
+		}
+		job.submitted = now
+		if s.cfg.Journal != nil && it.Source != nil {
+			job.journaled = true
+			recs = append(recs, SubmitRecord{ID: job.ID, Tenant: lane, Problem: it.Task.Problem(), Submitted: now, Request: it.Source})
+		}
+		jobs = append(jobs, job)
+		idx = append(idx, i)
+	}
+
+	// Phase 2: one fsync covers the whole batch. Durability before
+	// acknowledgement, batch-wide: a failed sync rejects every admitted
+	// item, because none of them is durably recorded.
+	if s.cfg.Journal != nil && len(recs) > 0 {
+		if err := s.cfg.Journal.SubmittedBatch(recs); err != nil {
+			for k, job := range jobs {
+				job.cancel()
+				out[idx[k]].Err = err
+			}
+			return out
+		}
+	}
+
+	// Phase 3: gauges before Push, exactly like enqueue — workers don't
+	// take s.mu, so the gauge must rise before a worker can pop the job.
+	for k, job := range jobs {
+		pm := s.Metrics.Problem(job.task.Problem())
+		s.Metrics.Submitted.Add(1)
+		s.Metrics.Queued.Add(1)
+		pm.Submitted.Add(1)
+		pm.Queued.Add(1)
+		tm.Submitted.Add(1)
+		tm.Queued.Add(1)
+		s.fq.Push(lane, job)
+		s.jobs[job.ID] = job
+		out[idx[k]].Job = job
+	}
+	return out
+}
+
 // Resubmit re-enqueues a recovered job under its original ID, tenant
 // and submission time. The journal already holds its record, so nothing
 // is re-journaled — and the tenant's admission quotas are bypassed: the
 // job was already accepted once, so a rate limit or a queued cap must
 // not drop it at boot (records from before tenancy carry no tenant and
-// recover under the default lane).
-func (s *Scheduler) Resubmit(id, tenant string, submitted time.Time, task problem.Task) (*Job, error) {
+// recover under the default lane). The source is the journaled request
+// body, kept on the job so a coordinator can re-dispatch the recovered
+// job to the fleet.
+func (s *Scheduler) Resubmit(id, tenant string, submitted time.Time, task problem.Task, source json.RawMessage) (*Job, error) {
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	return s.enqueue(id, tenant, submitted, task, nil, s.cfg.Journal != nil, false)
+	return s.enqueue(id, tenant, submitted, task, source, s.cfg.Journal != nil, false)
 }
 
 // enqueue admits a job under s.mu. A zero submitted time means "now";
 // a non-nil source is journaled inside the critical section, so the
 // journal order matches the queue order; journaled marks a recovered
-// job whose record is already in the journal; admit applies the
-// tenant's quotas (false for recovered jobs).
+// job whose record is already in the journal (its source is kept but
+// not re-journaled); admit applies the tenant's quotas (false for
+// recovered jobs).
 func (s *Scheduler) enqueue(id, tenant string, submitted time.Time, task problem.Task, source json.RawMessage, journaled, admit bool) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
@@ -246,6 +396,7 @@ func (s *Scheduler) enqueue(id, tenant string, submitted time.Time, task problem
 		state:       StateQueued,
 		replayLimit: s.cfg.ReplayBuffer,
 		journaled:   journaled,
+		source:      source,
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -285,7 +436,7 @@ func (s *Scheduler) enqueue(id, tenant string, submitted time.Time, task problem
 			return nil, err
 		}
 	}
-	if s.cfg.Journal != nil && source != nil {
+	if s.cfg.Journal != nil && source != nil && !journaled {
 		// Durability before acknowledgement: if the journal can't hold
 		// the job, the client must not believe it was accepted.
 		if err := s.cfg.Journal.Submitted(job.ID, job.Tenant, job.submitted, task.Problem(), source); err != nil {
@@ -588,8 +739,30 @@ func (s *Scheduler) run(job *Job, key string) {
 			s.cfg.Logf("job %s: resuming from checkpoint %s", job.ID, path)
 		}
 	}
+	solve := s.cfg.Solve
+	if s.cfg.Fleet != nil && len(job.source) > 0 {
+		// Coordinator mode: offer the job to the fleet and wait for a
+		// worker's result. The Run hooks flow through unchanged — the
+		// coordinator invokes Progress for shipped progress events and
+		// OnCheckpointWrite when a worker ships a snapshot into this
+		// job's checkpoint directory — so SSE streams and checkpoint
+		// metrics behave exactly as for a local solve. Worker-side
+		// checkpoint rejection is handled on the worker (discard, solve
+		// fresh), so Offer never returns ErrInvalid/ErrMismatch.
+		fj := fleet.Job{
+			ID:              job.ID,
+			Problem:         job.task.Problem(),
+			Tenant:          job.Tenant,
+			Source:          job.source,
+			CheckpointDir:   run.CheckpointDir,
+			CheckpointEvery: s.cfg.CheckpointEvery,
+		}
+		solve = func(ctx context.Context, _ problem.Task, run problem.Run) (*problem.Result, error) {
+			return s.cfg.Fleet.Offer(ctx, fj, run)
+		}
+	}
 	start := s.cfg.Now()
-	res, err := s.cfg.Solve(job.ctx, job.task, run)
+	res, err := solve(job.ctx, job.task, run)
 	if err != nil && run.CheckpointDir != "" &&
 		(errors.Is(err, checkpoint.ErrInvalid) || errors.Is(err, checkpoint.ErrMismatch)) {
 		// The checkpoint this job left behind is unusable (corrupt file,
@@ -601,7 +774,7 @@ func (s *Scheduler) run(job *Job, key string) {
 		if rerr := os.RemoveAll(run.CheckpointDir); rerr != nil {
 			s.cfg.Logf("job %s: discarding checkpoint: %v", job.ID, rerr)
 		}
-		res, err = s.cfg.Solve(job.ctx, job.task, run)
+		res, err = solve(job.ctx, job.task, run)
 	}
 	elapsed := s.cfg.Now().Sub(start)
 	s.Metrics.Running.Add(-1)
