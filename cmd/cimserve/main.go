@@ -73,6 +73,7 @@ func main() {
 
 		role      = flag.String("role", "standalone", "standalone | coordinator | worker")
 		join      = flag.String("join", "", "worker: coordinator base URL, e.g. http://host:8080")
+		fleetAuth = flag.String("fleet-auth", os.Getenv("CIMSERVE_FLEET_AUTH"), "shared secret for /v1/fleet/* (X-Fleet-Auth header; default $CIMSERVE_FLEET_AUTH); empty leaves the claim protocol open — only safe when the listener is network-isolated")
 		nodeName  = flag.String("node", "", "worker: fleet node name (default: hostname, folded to the allowed alphabet)")
 		lease     = flag.Duration("lease", 15*time.Second, "coordinator: how long a worker's claim stands without a renewing touch")
 		heartbeat = flag.Duration("heartbeat", 0, "worker: lease-renewal cadence (default: lease/3)")
@@ -94,6 +95,7 @@ func main() {
 		runWorker(workerArgs{
 			addr:      *addr,
 			join:      *join,
+			auth:      *fleetAuth,
 			node:      *nodeName,
 			lease:     *lease,
 			heartbeat: *heartbeat,
@@ -154,9 +156,13 @@ func main() {
 		coord = fleet.NewCoordinator(fleet.Config{
 			Lease:   *lease,
 			Journal: journal,
+			Auth:    *fleetAuth,
 			Logf:    log.Printf,
 		})
 		cfg.Fleet = coord
+		if *fleetAuth == "" {
+			log.Printf("warning: -fleet-auth empty: /v1/fleet/* is open — any network peer can register, claim jobs and post results; set a shared secret unless the listener is network-isolated")
+		}
 	}
 
 	sched := serve.NewScheduler(cfg)
@@ -224,6 +230,7 @@ func main() {
 type workerArgs struct {
 	addr      string
 	join      string
+	auth      string
 	node      string
 	lease     time.Duration
 	heartbeat time.Duration
@@ -256,7 +263,7 @@ func runWorker(a workerArgs) {
 	}
 	worker, err := fleet.NewWorker(fleet.WorkerConfig{
 		Node:      node,
-		Transport: &fleet.Client{BaseURL: a.join},
+		Transport: &fleet.Client{BaseURL: a.join, Auth: a.auth},
 		BuildTask: func(source json.RawMessage) (problem.Task, error) {
 			var req serve.SubmitRequest
 			if err := json.Unmarshal(source, &req); err != nil {

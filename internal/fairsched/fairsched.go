@@ -207,14 +207,15 @@ func ValidName(s string) bool {
 
 // lane is one tenant's FIFO plus its DRR and quota state.
 type lane[T any] struct {
-	name    string
-	pol     Policy
-	q       []T
-	deficit float64 // DRR credit; one unit per dispatched job
-	running int     // jobs popped but not yet released
-	tokens  float64 // rate-limit bucket
-	last    time.Time
-	inRing  bool
+	name     string
+	pol      Policy
+	q        []T
+	deficit  float64 // DRR credit; one unit per dispatched job
+	running  int     // jobs popped but not yet released
+	reserved int     // slots admitted but not yet pushed
+	tokens   float64 // rate-limit bucket
+	last     time.Time
+	inRing   bool
 }
 
 func (l *lane[T]) refill(now time.Time) {
@@ -237,14 +238,15 @@ func (l *lane[T]) refill(now time.Time) {
 // slot frees. Cancelled-while-queued jobs are pulled out with Remove
 // so a lane at its running cap cannot clog dispatch with corpses.
 type Queue[T any] struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	cfg     Config
-	lanes   map[string]*lane[T]
-	ring    []*lane[T] // lanes with queued jobs, in DRR order
-	total   int        // queued items across all lanes
-	dynamic int        // lanes created beyond the configured set
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cfg      Config
+	lanes    map[string]*lane[T]
+	ring     []*lane[T] // lanes with queued jobs, in DRR order
+	total    int        // queued items across all lanes
+	reserved int        // admitted-but-unpushed slots across all lanes
+	dynamic  int        // lanes created beyond the configured set
+	closed   bool
 }
 
 // New builds a queue with one lane per configured tenant plus the
@@ -301,11 +303,16 @@ func (q *Queue[T]) Canonical(name string) string {
 	return q.laneFor(name).name
 }
 
-// Admit checks the tenant's quotas and consumes a rate token without
-// enqueueing anything, so the caller can order its own bookkeeping
-// (journal write, gauge increments) between admission and Push.
-// Returns nil, ErrClosed, ErrTenantQueueFull, ErrQueueFull, or a
-// *RateLimitError.
+// Admit checks the tenant's quotas, consumes a rate token, and
+// reserves one queue slot without enqueueing anything, so the caller
+// can order its own bookkeeping (journal write, gauge increments)
+// between admission and Push. The reservation counts against
+// max_queued and MaxQueuedTotal for every later Admit, so a batch of
+// admissions cannot collectively blow past the caps just because none
+// of its items has been pushed yet; Push consumes it, and a caller
+// that admits but then cannot push (journal failure) must call Unadmit
+// to return the slot. Returns nil, ErrClosed, ErrTenantQueueFull,
+// ErrQueueFull, or a *RateLimitError.
 func (q *Queue[T]) Admit(name string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -313,10 +320,10 @@ func (q *Queue[T]) Admit(name string) error {
 		return ErrClosed
 	}
 	l := q.laneFor(name)
-	if l.pol.MaxQueued > 0 && len(l.q) >= l.pol.MaxQueued {
+	if l.pol.MaxQueued > 0 && len(l.q)+l.reserved >= l.pol.MaxQueued {
 		return fmt.Errorf("%w: tenant %q at max_queued %d", ErrTenantQueueFull, l.name, l.pol.MaxQueued)
 	}
-	if q.cfg.MaxQueuedTotal > 0 && q.total >= q.cfg.MaxQueuedTotal {
+	if q.cfg.MaxQueuedTotal > 0 && q.total+q.reserved >= q.cfg.MaxQueuedTotal {
 		return ErrQueueFull
 	}
 	if l.pol.RatePerSec > 0 {
@@ -327,12 +334,35 @@ func (q *Queue[T]) Admit(name string) error {
 		}
 		l.tokens--
 	}
+	l.reserved++
+	q.reserved++
 	return nil
 }
 
-// Push appends v to the tenant's lane and wakes a waiting Pop. It
-// bypasses Admit's quotas deliberately: requeues (a coalesced waiter
-// whose leader aborted) must never be re-charged or rejected. Returns
+// Unadmit returns a slot reserved by a successful Admit that will
+// never be pushed (the caller's journal write failed after admission).
+// The consumed rate token is not refunded — the submission attempt
+// happened, and under-charging is the dangerous direction. No-op when
+// the lane holds no reservation.
+func (q *Queue[T]) Unadmit(name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	l := q.laneFor(name)
+	if l.reserved > 0 {
+		l.reserved--
+		q.reserved--
+	}
+}
+
+// Push appends v to the tenant's lane and wakes a waiting Pop,
+// consuming one of the lane's outstanding Admit reservations if any
+// exists. It bypasses Admit's quotas deliberately: requeues (a
+// coalesced waiter whose leader aborted) must never be re-charged or
+// rejected. A requeue landing while a same-lane submission sits
+// between Admit and Push transfers that reservation to itself —
+// harmless, because every Admit runs under the serve submit lock the
+// in-flight submitter holds for its whole Admit→Push window, so no
+// admission decision can observe the transient undercount. Returns
 // false if the queue is closed.
 func (q *Queue[T]) Push(name string, v T) bool {
 	q.mu.Lock()
@@ -341,6 +371,10 @@ func (q *Queue[T]) Push(name string, v T) bool {
 		return false
 	}
 	l := q.laneFor(name)
+	if l.reserved > 0 {
+		l.reserved--
+		q.reserved--
+	}
 	l.q = append(l.q, v)
 	q.total++
 	if !l.inRing {

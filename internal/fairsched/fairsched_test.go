@@ -533,3 +533,43 @@ func TestRefillBackwardsClock(t *testing.T) {
 		t.Fatalf("Admit after genuine elapsed time: %v", err)
 	}
 }
+
+// TestAdmitReservesSlot: a successful Admit holds a queue slot before
+// its Push lands, so a burst of admissions (the batch-submit path, many
+// Admits before any Push) cannot collectively blow past caps that
+// would reject the same submissions one by one.
+func TestAdmitReservesSlot(t *testing.T) {
+	q := New[string](Config{MaxQueuedTotal: 3, Tenants: map[string]Policy{
+		"small": {MaxQueued: 2},
+	}})
+	// Two unpushed admissions already fill the tenant cap.
+	if err := q.Admit("small"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("small"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("small"); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("third unpushed Admit = %v, want ErrTenantQueueFull", err)
+	}
+	// The global cap counts reservations too.
+	if err := q.Admit("other"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Admit("late"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Admit over reserved global cap = %v, want ErrQueueFull", err)
+	}
+	// Push converts reservations into queue entries one for one: the
+	// caps stay exactly full, never double-counted.
+	if !q.Push("small", "a") || !q.Push("small", "b") {
+		t.Fatal("push after admit failed")
+	}
+	if err := q.Admit("small"); !errors.Is(err, ErrTenantQueueFull) {
+		t.Fatalf("Admit after pushes = %v, want ErrTenantQueueFull", err)
+	}
+	// Unadmit returns the slot a failed (never-pushed) submission held.
+	q.Unadmit("other")
+	if err := q.Admit("late"); err != nil {
+		t.Fatalf("Admit after Unadmit: %v", err)
+	}
+}

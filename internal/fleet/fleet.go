@@ -73,6 +73,11 @@ var (
 	// fairsched hostile-name guard (node names flow into metric labels
 	// and journal records, so they obey the same alphabet as tenants).
 	ErrBadNodeName = errors.New("fleet: invalid node name")
+	// ErrBadCompletion rejects a completion carrying neither a result
+	// nor an error: settling an offer with nothing would hand the
+	// scheduler a nil result under a nil error and crash it, so the
+	// claim stays live and the worker (or hostile client) gets a 400.
+	ErrBadCompletion = errors.New("fleet: completion has neither result nor error")
 )
 
 // Config parameterizes a Coordinator.
@@ -86,6 +91,13 @@ type Config struct {
 	Now func() time.Time
 	// Journal, when non-nil, durably records claims and releases.
 	Journal ClaimLog
+	// Auth, when non-empty, is a shared secret every fleet HTTP call
+	// must present in the X-Fleet-Auth header; Routes rejects the rest
+	// with 401. Empty leaves /v1/fleet/* open — acceptable only when
+	// the listener is network-isolated from untrusted clients, since
+	// an open claim protocol lets any peer register, claim jobs (and
+	// read their source bodies), or post fabricated results.
+	Auth string
 	// Logf logs operational events. Default: discard.
 	Logf func(format string, args ...any)
 }
@@ -111,7 +123,10 @@ type Grant struct {
 }
 
 // offer is one job the scheduler is waiting on: claimable when node is
-// empty, leased otherwise. Settling (exactly once) closes done.
+// empty, leased otherwise. Settling (exactly once) closes done. The
+// offer object is stable across re-claims (revocation only clears
+// node/token), so wmu serializes checkpoint-file writes for the job
+// across successive claimants.
 type offer struct {
 	job     Job
 	run     problem.Run
@@ -121,6 +136,22 @@ type offer struct {
 	done    chan struct{}
 	res     *problem.Result
 	errMsg  string
+	wmu     sync.Mutex // held across checkpoint-file writes; see ShipCheckpoint
+}
+
+// settled maps a settled offer onto the scheduler's (result, error)
+// contract. Complete rejects empty completions, so a settled offer
+// always carries one of the two — but the scheduler dereferences the
+// result on the nil-error path, so a nil result is never returned
+// under a nil error even if a future settle path regresses.
+func (o *offer) settled() (*problem.Result, error) {
+	if o.errMsg != "" {
+		return nil, errors.New(o.errMsg)
+	}
+	if o.res == nil {
+		return nil, fmt.Errorf("%w (settled empty)", ErrBadCompletion)
+	}
+	return o.res, nil
 }
 
 // node tracks one registered worker.
@@ -184,10 +215,7 @@ func (c *Coordinator) Offer(ctx context.Context, job Job, run problem.Run) (*pro
 
 	select {
 	case <-o.done:
-		if o.errMsg != "" {
-			return nil, errors.New(o.errMsg)
-		}
-		return o.res, nil
+		return o.settled()
 	case <-ctx.Done():
 		c.mu.Lock()
 		if _, live := c.offers[job.ID]; live {
@@ -203,10 +231,7 @@ func (c *Coordinator) Offer(ctx context.Context, job Job, run problem.Run) (*pro
 			// anyway — the solve completed and the caller's own ctx check
 			// decides what to do with it.
 			c.mu.Unlock()
-			if o.errMsg != "" {
-				return nil, errors.New(o.errMsg)
-			}
-			return o.res, nil
+			return o.settled()
 		}
 		c.mu.Unlock()
 		return nil, ctx.Err()
@@ -371,6 +396,13 @@ func (c *Coordinator) holderLocked(jobID, nodeName string, token uint64) (*offer
 // discipline the local solver uses) and renews the lease. The name is
 // reduced to its base and must keep the .ckpt suffix, so a hostile
 // worker cannot write outside the job's directory.
+//
+// Writes are serialized per job under the offer's write lock, and the
+// claim is re-validated after acquiring it: a holder whose lease is
+// revoked while it was queued behind the lock gets ErrGone instead of
+// landing a stale snapshot on top of the new claimant's newer one
+// (newestCheckpoint picks by mtime, so last-writer-wins must mean
+// current-claimant-wins).
 func (c *Coordinator) ShipCheckpoint(jobID, nodeName string, token uint64, name string, data []byte) error {
 	base := filepath.Base(name)
 	if base != name || !strings.HasSuffix(base, ".ckpt") || len(base) <= len(".ckpt") {
@@ -391,6 +423,20 @@ func (c *Coordinator) ShipCheckpoint(jobID, nodeName string, token uint64, name 
 
 	if dir == "" {
 		return nil
+	}
+	o.wmu.Lock()
+	defer o.wmu.Unlock()
+	// Re-validate under c.mu now that we hold the write lock: any ship
+	// from a later claimant must have queued behind wmu, so if the
+	// token still stands here, no newer snapshot can land before ours.
+	c.mu.Lock()
+	stale := c.offers[jobID] != o || o.node != nodeName || o.token != token
+	if stale {
+		c.staleDrops++
+	}
+	c.mu.Unlock()
+	if stale {
+		return ErrGone
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("fleet: checkpoint dir: %w", err)
@@ -440,6 +486,12 @@ func (c *Coordinator) Complete(jobID, nodeName string, token uint64, res *proble
 	if err != nil {
 		c.mu.Unlock()
 		return err
+	}
+	// Checked after holder validation so a stale claimant still sees
+	// ErrGone, not a complaint about its (irrelevant) payload.
+	if res == nil && errMsg == "" {
+		c.mu.Unlock()
+		return fmt.Errorf("%w (job %s)", ErrBadCompletion, jobID)
 	}
 	delete(c.offers, jobID)
 	delete(n.claimed, jobID)

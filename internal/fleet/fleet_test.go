@@ -686,3 +686,175 @@ func TestWorkerOverHTTP(t *testing.T) {
 		t.Fatal("worker shipped no checkpoints")
 	}
 }
+
+// TestEmptyCompletionRejected: a completion carrying neither a result
+// nor an error (a buggy worker, or any client POSTing {} to /result)
+// must not settle the offer — pre-fix it settled with (nil, nil) and
+// the scheduler dereferenced the nil result. The claim stays standing
+// and a real completion still lands.
+func TestEmptyCompletionRejected(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{})
+	if err := coord.Register("a"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var res *problem.Result
+	go func() {
+		r, err := coord.Offer(context.Background(), fleet.Job{ID: "e1", Source: json.RawMessage(`{}`)}, problem.Run{})
+		res = r
+		done <- err
+	}()
+	waitUntil(t, "e1 claimable", func() bool { return coord.Stats().Claimable == 1 })
+	g, err := coord.Claim("a")
+	if err != nil || g == nil {
+		t.Fatalf("claim: %v, %v", g, err)
+	}
+
+	if err := coord.Complete("e1", "a", g.Token, nil, ""); !errors.Is(err, fleet.ErrBadCompletion) {
+		t.Fatalf("empty completion: got %v, want ErrBadCompletion", err)
+	}
+	if s := coord.Stats(); s.Claimed != 1 {
+		t.Fatalf("claim did not survive the rejected completion: %+v", s)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("offer settled by empty completion (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if err := coord.Complete("e1", "a", g.Token, &problem.Result{Problem: "tsp", Objective: 9}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Objective != 9 {
+		t.Fatalf("offer result = %+v", res)
+	}
+}
+
+// TestHTTPEmptyCompletionRejected drives the same guard over the wire:
+// POST /v1/fleet/jobs/{id}/result with {} is a 400, not a coordinator
+// crash, even from a client that knows a live job ID and token.
+func TestHTTPEmptyCompletionRejected(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{})
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	cl := &fleet.Client{BaseURL: srv.URL}
+
+	if err := cl.Register("w1"); err != nil {
+		t.Fatal(err)
+	}
+	go coord.Offer(context.Background(), fleet.Job{ID: "e2", Source: json.RawMessage(`{}`)}, problem.Run{})
+	waitUntil(t, "e2 claimable", func() bool { return coord.Stats().Claimable == 1 })
+	g, err := cl.Claim("w1")
+	if err != nil || g == nil {
+		t.Fatalf("claim: %v, %v", g, err)
+	}
+	err = cl.Complete("e2", "w1", g.Token, nil, "")
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("empty completion over HTTP: got %v, want a 400", err)
+	}
+	if s := coord.Stats(); s.Claimed != 1 {
+		t.Fatalf("claim did not survive the rejected completion: %+v", s)
+	}
+}
+
+// TestRoutesAuth: with a shared secret configured, every /v1/fleet/*
+// route refuses calls without it — the claim protocol is not open to
+// arbitrary network peers — and a client presenting the secret speaks
+// the protocol unchanged.
+func TestRoutesAuth(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{Auth: "s3cret"})
+	mux := http.NewServeMux()
+	coord.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, cl := range []*fleet.Client{
+		{BaseURL: srv.URL},                // no secret
+		{BaseURL: srv.URL, Auth: "guess"}, // wrong secret
+	} {
+		if err := cl.Register("w1"); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("unauthorized register (auth=%q): got %v, want 401", cl.Auth, err)
+		}
+		if _, err := cl.Claim("w1"); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("unauthorized claim (auth=%q): got %v, want 401", cl.Auth, err)
+		}
+		if err := cl.ShipCheckpoint("x", "w1", 1, "a.ckpt", []byte("b")); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("unauthorized ship (auth=%q): got %v, want 401", cl.Auth, err)
+		}
+		if err := cl.Complete("x", "w1", 1, nil, "boom"); err == nil || !strings.Contains(err.Error(), "401") {
+			t.Fatalf("unauthorized complete (auth=%q): got %v, want 401", cl.Auth, err)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/v1/fleet/nodes"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("unauthorized stats: %d, want 401", resp.StatusCode)
+		}
+	}
+	if coord.Stats().Nodes != 0 {
+		t.Fatal("unauthorized register reached the coordinator")
+	}
+
+	good := &fleet.Client{BaseURL: srv.URL, Auth: "s3cret"}
+	if err := good.Register("w1"); err != nil {
+		t.Fatalf("authorized register: %v", err)
+	}
+	if coord.Stats().Nodes != 1 {
+		t.Fatal("authorized register did not land")
+	}
+}
+
+// TestStaleShipAfterReclaim: once a job is re-claimed, the previous
+// holder's checkpoint ships are dropped (ErrGone) rather than landing
+// on top of — and, by mtime, shadowing — the new claimant's snapshots.
+func TestStaleShipAfterReclaim(t *testing.T) {
+	clk := newFakeClock()
+	coord := fleet.NewCoordinator(fleet.Config{Lease: 10 * time.Second, Now: clk.Now})
+	for _, n := range []string{"a", "b"} {
+		if err := coord.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckptDir := t.TempDir()
+	go coord.Offer(context.Background(), fleet.Job{ID: "s1", Source: json.RawMessage(`{}`), CheckpointDir: ckptDir}, problem.Run{})
+	waitUntil(t, "s1 claimable", func() bool { return coord.Stats().Claimable == 1 })
+
+	g1, err := coord.Claim("a")
+	if err != nil || g1 == nil {
+		t.Fatalf("claim: %v, %v", g1, err)
+	}
+	if err := coord.ShipCheckpoint("s1", "a", g1.Token, "snap.ckpt", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(11 * time.Second)
+	if n := coord.Sweep(); n != 1 {
+		t.Fatalf("sweep revoked %d, want 1", n)
+	}
+	g2, err := coord.Claim("b")
+	if err != nil || g2 == nil {
+		t.Fatalf("re-claim: %v, %v", g2, err)
+	}
+	if string(g2.Checkpoint) != "from-a" {
+		t.Fatalf("re-claim grant checkpoint = %q, want a's shipped snapshot", g2.Checkpoint)
+	}
+
+	if err := coord.ShipCheckpoint("s1", "b", g2.Token, "snap.ckpt", []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	// A's late ship with the dead token must not overwrite b's snapshot.
+	if err := coord.ShipCheckpoint("s1", "a", g1.Token, "snap.ckpt", []byte("stale")); !errors.Is(err, fleet.ErrGone) {
+		t.Fatalf("stale ship: got %v, want ErrGone", err)
+	}
+	data, err := os.ReadFile(filepath.Join(ckptDir, "snap.ckpt"))
+	if err != nil || string(data) != "from-b" {
+		t.Fatalf("checkpoint on disk = %q, %v; want from-b", data, err)
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ var (
 const (
 	headerNode     = "X-Fleet-Node"
 	headerToken    = "X-Fleet-Token"
+	headerAuth     = "X-Fleet-Auth"
 	headerCkptName = "X-Checkpoint-Name"
 )
 
@@ -42,12 +44,33 @@ const (
 // problem.Limits, so 64 MiB is generous.
 const maxShippedCheckpoint = 64 << 20
 
+// maxGrantResponse bounds the claim-response read on the client. A
+// grant legitimately carries the newest shipped checkpoint base64'd
+// inside JSON (~4/3 of the raw ship cap) plus the verbatim job source
+// (itself up to serve's 32 MiB submit-body default) — reading only
+// maxShippedCheckpoint would truncate a near-cap grant, and the job
+// would livelock through claim/lease-expiry cycles (the claim is
+// journaled and leased before the worker fails to decode it). Twice
+// the ship cap covers base64 inflation + source + envelope with room.
+const maxGrantResponse = 2 * maxShippedCheckpoint
+
 // Routes mounts the fleet claim protocol on mux. The endpoints sit
 // beside the public job API on the coordinator's listener; sentinel
 // errors map to statuses the client reverses (404 unknown node, 410
 // claim gone), so workers see the same errors in- and cross-process.
+// When the coordinator has an Auth secret, every /v1/fleet/* route
+// requires it (constant-time compare) and rejects the rest with 401.
 func (c *Coordinator) Routes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if !c.authorized(r) {
+				http.Error(w, "fleet auth required", http.StatusUnauthorized)
+				return
+			}
+			h(w, r)
+		})
+	}
+	handle("POST /v1/fleet/register", func(w http.ResponseWriter, r *http.Request) {
 		node, ok := decodeNode(w, r)
 		if !ok {
 			return
@@ -58,7 +81,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		node, ok := decodeNode(w, r)
 		if !ok {
 			return
@@ -72,7 +95,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 			Cancels []string `json:"cancels,omitempty"`
 		}{Cancels: cancels})
 	})
-	mux.HandleFunc("POST /v1/fleet/claim", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/fleet/claim", func(w http.ResponseWriter, r *http.Request) {
 		node, ok := decodeNode(w, r)
 		if !ok {
 			return
@@ -88,7 +111,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 		}
 		writeJSON(w, g)
 	})
-	mux.HandleFunc("POST /v1/fleet/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/fleet/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		node, token, ok := claimHeaders(w, r)
 		if !ok {
 			return
@@ -109,7 +132,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/fleet/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/fleet/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
 		node, token, ok := claimHeaders(w, r)
 		if !ok {
 			return
@@ -125,7 +148,7 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /v1/fleet/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/fleet/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		node, token, ok := claimHeaders(w, r)
 		if !ok {
 			return
@@ -141,9 +164,20 @@ func (c *Coordinator) Routes(mux *http.ServeMux) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("GET /v1/fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Stats())
 	})
+}
+
+// authorized checks the shared fleet secret; with no secret configured
+// every call passes (network-isolated deployments). Constant-time so
+// the comparison doesn't leak prefix length.
+func (c *Coordinator) authorized(r *http.Request) bool {
+	if c.cfg.Auth == "" {
+		return true
+	}
+	got := r.Header.Get(headerAuth)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(c.cfg.Auth)) == 1
 }
 
 // completion is the /result body: exactly one of Result and Error set.
@@ -179,7 +213,7 @@ func fleetError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrGone):
 		http.Error(w, err.Error(), http.StatusGone)
-	case errors.Is(err, ErrBadNodeName):
+	case errors.Is(err, ErrBadNodeName), errors.Is(err, ErrBadCompletion):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -197,6 +231,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 type Client struct {
 	// BaseURL is the coordinator's root, e.g. "http://host:8080".
 	BaseURL string
+	// Auth is the shared fleet secret sent in X-Fleet-Auth on every
+	// call; it must match the coordinator's Config.Auth (both empty in
+	// network-isolated deployments).
+	Auth string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 }
@@ -217,6 +255,9 @@ func (cl *Client) do(path string, headers map[string]string, contentType string,
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if cl.Auth != "" {
+		req.Header.Set(headerAuth, cl.Auth)
 	}
 	for k, v := range headers {
 		req.Header.Set(k, v)
@@ -287,6 +328,9 @@ func (cl *Client) Claim(node string) (*Grant, error) {
 		return nil, fmt.Errorf("fleet: request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if cl.Auth != "" {
+		req.Header.Set(headerAuth, cl.Auth)
+	}
 	resp, err := cl.httpc().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: claim: %w", err)
@@ -294,7 +338,11 @@ func (cl *Client) Claim(node string) (*Grant, error) {
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
-		if err := json.NewDecoder(io.LimitReader(resp.Body, maxShippedCheckpoint)).Decode(&g); err != nil {
+		// maxGrantResponse, not maxShippedCheckpoint: the checkpoint
+		// rides base64'd inside the grant, so a near-cap snapshot makes
+		// the response ~4/3 of the raw cap and a tighter limit would
+		// truncate a grant the coordinator already journaled and leased.
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxGrantResponse)).Decode(&g); err != nil {
 			return nil, fmt.Errorf("fleet: claim: decoding grant: %w", err)
 		}
 		return &g, nil

@@ -1,0 +1,22 @@
+package fleet
+
+import (
+	"encoding/base64"
+	"testing"
+)
+
+// TestGrantResponseLimitCoversShipCap pins the claim-response read
+// limit against the grant's real worst case: a checkpoint at the ship
+// cap inflates ~4/3 under base64-in-JSON, and the grant also carries
+// the verbatim job source (bounded by serve's 32 MiB submit-body
+// default). A limit below this truncates a grant the coordinator has
+// already journaled and leased, livelocking the job through endless
+// claim/lease-expiry cycles.
+func TestGrantResponseLimitCoversShipCap(t *testing.T) {
+	const maxSubmitBody = 32 << 20 // serve's default MaxBodyBytes
+	const envelope = 64 << 10      // JSON keys, token, checkpoint name, lease
+	need := base64.StdEncoding.EncodedLen(maxShippedCheckpoint) + maxSubmitBody + envelope
+	if maxGrantResponse < need {
+		t.Fatalf("maxGrantResponse = %d, need at least %d for a cap-size checkpoint plus source", maxGrantResponse, need)
+	}
+}

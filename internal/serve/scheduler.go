@@ -341,6 +341,7 @@ func (s *Scheduler) SubmitBatch(tenant string, items []BatchItem) []BatchResult 
 		if err := s.cfg.Journal.SubmittedBatch(recs); err != nil {
 			for k, job := range jobs {
 				job.cancel()
+				s.fq.Unadmit(lane) // the admitted slot will never be pushed
 				out[idx[k]].Err = err
 			}
 			return out
@@ -440,6 +441,11 @@ func (s *Scheduler) enqueue(id, tenant string, submitted time.Time, task problem
 		// Durability before acknowledgement: if the journal can't hold
 		// the job, the client must not believe it was accepted.
 		if err := s.cfg.Journal.Submitted(job.ID, job.Tenant, job.submitted, task.Problem(), source); err != nil {
+			if admit {
+				// The rejected job will never be pushed: return its
+				// reserved queue slot so the caps don't leak shut.
+				s.fq.Unadmit(job.Tenant)
+			}
 			s.mu.Unlock()
 			cancel()
 			return nil, err

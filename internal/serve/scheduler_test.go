@@ -374,3 +374,46 @@ func TestSubmitRejectsInvalidOptions(t *testing.T) {
 		t.Fatalf("invalid submission counted: %d", got)
 	}
 }
+
+// TestSubmitBatchRespectsQueueCap is the regression for batch admission
+// seeing stale queue lengths: all of a batch's Admit calls used to run
+// before any of its Push calls, so a batch of N was fully admitted even
+// with one queue slot left. Reservations close that: the overflow items
+// are rejected inside the batch.
+func TestSubmitBatchRespectsQueueCap(t *testing.T) {
+	st := newStubSolver()
+	s := newTestScheduler(t, st, nil, 1, 2)
+
+	a, err := s.Submit(testTask(t, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStarted(t, st, "a") // a occupies the slot; the queue has 2 free positions
+
+	out := s.SubmitBatch("", []BatchItem{
+		{Task: testTask(t, "b")},
+		{Task: testTask(t, "c")},
+		{Task: testTask(t, "d")},
+	})
+	var admitted, full int
+	for _, r := range out {
+		switch {
+		case r.Err == nil && r.Job != nil:
+			admitted++
+		case errors.Is(r.Err, ErrQueueFull):
+			full++
+		default:
+			t.Fatalf("unexpected batch outcome: job=%v err=%v", r.Job, r.Err)
+		}
+	}
+	if admitted != 2 || full != 1 {
+		t.Fatalf("batch admitted %d / queue-full %d, want 2 / 1", admitted, full)
+	}
+	st.releaseAll()
+	waitDone(t, a)
+	for _, r := range out {
+		if r.Job != nil {
+			waitDone(t, r.Job)
+		}
+	}
+}
